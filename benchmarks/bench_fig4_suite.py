@@ -1,0 +1,34 @@
+"""Figure 4 — Program Descriptions (the benchmark suite itself).
+
+The paper's Figure 4 is the table of the 14 programs.  This benchmark
+regenerates the table for our miniatures (name, size, description, the
+paper behaviour each miniature encodes) and measures the cost of
+compiling and sanity-running the whole suite unoptimized — the substrate
+every other figure builds on.
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.frontend import compile_c
+from repro.interp import MachineOptions, run_module
+from repro.workloads import all_workloads
+
+
+def compile_and_check_suite():
+    lines = []
+    header = f"{'Program':<10} {'Lines':>5}  Description"
+    lines.append("Figure 4: Program Descriptions (miniatures)")
+    lines.append(header)
+    lines.append("-" * 72)
+    for w in all_workloads():
+        module = compile_c(w.source, name=w.name, defines=w.defines)
+        result = run_module(module, options=MachineOptions(max_steps=30_000_000))
+        assert result.exit_code == 0, (w.name, result.output)
+        lines.append(f"{w.name:<10} {w.line_count:>5}  {w.description}")
+        lines.append(f"{'':<17} paper: {w.paper_behaviour}")
+    return "\n".join(lines)
+
+
+def test_fig4_program_suite(benchmark, out_dir):
+    table = benchmark.pedantic(compile_and_check_suite, rounds=1, iterations=1)
+    write_artifact(out_dir, "fig4_programs.txt", table)
+    assert table.count("paper:") == 14

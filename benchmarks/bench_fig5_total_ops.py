@@ -1,0 +1,53 @@
+"""Figure 5 — Total Operations executed, 14 programs x 4 variants.
+
+Paper shape being reproduced:
+
+* mlink improves the most; gzip(enc), fft, bc, go, clean show real wins;
+* tsp and allroots are exactly 0.00 (no opportunities);
+* dhrystone and gzip(dec) are flat to marginally negative;
+* points-to is never much better than MOD/REF except where an
+  address-taken scalar aliases a pointer (bc, fft, mlink).
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.harness import figure_rows, format_figure, summary_line
+
+
+def rows_by_program(results, metric, analysis="modref"):
+    return {
+        row.program: row
+        for row in figure_rows(results, metric)
+        if row.analysis == analysis
+    }
+
+
+def test_fig5_total_operations(benchmark, suite_results, out_dir):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(suite_results, "total_ops"), rounds=1, iterations=1
+    )
+    table = format_figure(suite_results, "total_ops")
+    write_artifact(out_dir, "fig5_total_ops.txt", table)
+    print(summary_line(rows))
+
+    by_program = rows_by_program(suite_results, "total_ops")
+
+    # no opportunities: exactly zero effect
+    assert by_program["tsp"].difference == 0
+    assert by_program["allroots"].difference == 0
+
+    # the paper's standout: mlink improves the most in the suite
+    best = max(by_program.values(), key=lambda r: r.percent_removed)
+    assert best.program == "mlink"
+    assert by_program["mlink"].percent_removed > 5.0
+
+    # degradation cases exist and stay small in absolute terms
+    assert by_program["dhrystone"].percent_removed <= 0.0
+    assert by_program["gzip_dec"].percent_removed <= 0.1
+
+    # real wins on the memory-traffic-heavy programs
+    for name in ("clean", "go", "bc", "fft"):
+        assert by_program[name].percent_removed > 0.0, name
+
+    # water: promotion-induced spilling makes it a net loss (the paper's
+    # cautionary anecdote)
+    assert by_program["water"].percent_removed < 0.5

@@ -1,0 +1,47 @@
+"""Figure 7 — Loads executed, 14 programs x 4 variants.
+
+Paper shape being reproduced:
+
+* go shows the biggest absolute load removal (paper: ~15.6%/16.2% —
+  global game state re-read in every probe of the board scans);
+* mlink's loads drop by a large fraction alongside its stores;
+* tsp, allroots, dhrystone remove nothing;
+* pointer analysis helps exactly where it helped stores (bc, fft, mlink).
+"""
+
+from benchmarks.conftest import write_artifact
+from repro.harness import figure_rows, format_figure, summary_line
+
+
+def rows_by_program(results, metric, analysis="modref"):
+    return {
+        row.program: row
+        for row in figure_rows(results, metric)
+        if row.analysis == analysis
+    }
+
+
+def test_fig7_loads(benchmark, suite_results, out_dir):
+    rows = benchmark.pedantic(
+        lambda: figure_rows(suite_results, "loads"), rounds=1, iterations=1
+    )
+    table = format_figure(suite_results, "loads")
+    write_artifact(out_dir, "fig7_loads.txt", table)
+    print(summary_line(rows))
+
+    modref = rows_by_program(suite_results, "loads", "modref")
+    pointer = rows_by_program(suite_results, "loads", "pointer")
+
+    for name in ("tsp", "allroots", "dhrystone"):
+        assert modref[name].difference == 0, name
+
+    # double-digit load removal on the global-state-heavy programs
+    for name in ("go", "mlink", "clean", "bc", "indent"):
+        assert modref[name].percent_removed > 5.0, name
+
+    # points-to at least matches MOD/REF everywhere ...
+    for name in modref:
+        assert pointer[name].with_promotion <= modref[name].with_promotion + 2, name
+
+    # ... and strictly beats it on the aliased-scalar programs
+    assert pointer["bc"].percent_removed > modref["bc"].percent_removed

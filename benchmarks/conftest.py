@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+The expensive artifact — the full 14-program x 4-variant matrix behind
+Figures 5, 6, and 7 — is computed once per session and shared by every
+figure benchmark.  Each benchmark regenerates its figure from the matrix,
+prints it, and writes it under ``benchmarks/out/`` so EXPERIMENTS.md can
+reference the latest numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+@pytest.fixture(scope="session")
+def suite_results():
+    from repro.harness import run_suite
+
+    return run_suite()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def write_artifact(out_dir: Path, name: str, text: str) -> None:
+    (out_dir / name).write_text(text + "\n")
+    print()
+    print(text)

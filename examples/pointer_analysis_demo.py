@@ -1,0 +1,89 @@
+"""Why pointer analysis matters: the paper's mlink scenario, live.
+
+Run with::
+
+    python examples/pointer_analysis_demo.py
+
+``Tl`` has its address taken, so under MOD/REF analysis every store
+through the pointer ``X2`` might modify it and the promoter must leave it
+in memory.  Points-to analysis proves ``X2`` only reaches the heap block
+allocated in ``setup``, the store's tag set shrinks, and ``Tl`` promotes.
+The demo prints the tag sets and promotion outcome under both analyses,
+and the resulting difference in dynamic stores.
+"""
+
+from repro.analysis.modref import run_modref
+from repro.analysis.pointsto import apply_points_to, run_points_to
+from repro.analysis.tagrefine import refine_memory_ops
+from repro.frontend import compile_c
+from repro.ir import MemStore
+from repro.pipeline import Analysis, PipelineOptions, compile_and_run
+
+SOURCE = r"""
+double Tl;
+double *X1;
+double *X2;
+
+void setup(void) {
+    double *p;
+    int i;
+    p = &Tl;
+    *p = 0.25;
+    X1 = (double *) malloc(200 * 8);
+    X2 = (double *) malloc(200 * 8);
+    for (i = 0; i < 200; i++) { X1[i] = 1.0 + (double) i; }
+}
+
+int main(void) {
+    int i;
+    setup();
+    for (i = 0; i < 200; i++) {
+        X2[i] = Tl * X1[i];
+        Tl = Tl * 0.999;
+    }
+    printf("Tl=%f X2[7]=%f\n", Tl, X2[7]);
+    return 0;
+}
+"""
+
+
+def show_store_tags(title: str, module) -> None:
+    print(title)
+    for instr in module.functions["main"].instructions():
+        if isinstance(instr, MemStore):
+            print(f"    store through pointer: tags = {instr.tags}")
+
+
+def main() -> None:
+    print("--- tag sets under MOD/REF alone ---")
+    module = compile_c(SOURCE, name="demo")
+    run_modref(module)
+    show_store_tags("  main():", module)
+    print("  (Tl appears: the store might modify it -> not promotable)")
+
+    print()
+    print("--- tag sets after points-to analysis ---")
+    module = compile_c(SOURCE, name="demo")
+    first = run_modref(module)
+    points = run_points_to(module)
+    apply_points_to(module, points, first.visible)
+    result = run_modref(module)
+    refine_memory_ops(module, result.sccs)
+    show_store_tags("  main():", module)
+    print("  (only the heap blocks remain -> Tl is promotable)")
+
+    print()
+    print("--- end-to-end effect on the paper's four variants ---")
+    print(f"{'variant':<18} {'stores executed':>16}")
+    for analysis in (Analysis.MODREF, Analysis.POINTER):
+        for promo in (False, True):
+            options = PipelineOptions(analysis=analysis, promotion=promo)
+            cell = compile_and_run(SOURCE, options, name="demo")
+            print(f"{cell.variant:<18} {cell.counters.stores:>16}")
+    print()
+    print("points-to + promotion removes the per-iteration store of Tl;")
+    print("MOD/REF + promotion cannot.")
+
+
+if __name__ == "__main__":
+    main()

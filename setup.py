@@ -1,0 +1,17 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so ``pip install -e .``
+works on environments whose setuptools predates PEP 660 editable wheels
+(it falls back to ``setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["pycparser>=2.21"],
+)

@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run FILE.c``
+    Compile with one pipeline variant and execute; print the program's
+    output and the dynamic operation counts.
+``compare FILE.c``
+    Run all four paper variants (Figures 5-7 style) on one file and print
+    the comparison table.
+``ir FILE.c``
+    Print the optimized IL (use ``--no-opt`` for the raw front-end output).
+``suite [PROGRAM ...]``
+    Regenerate the paper's Figure 5/6/7 rows for the named workloads
+    (default: the whole 14-program suite).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .frontend import compile_c
+from .interp import MachineOptions, run_module
+from .ir.printer import format_module
+from .pipeline import (
+    Analysis,
+    PipelineOptions,
+    check_outputs_agree,
+    compile_and_run,
+    compile_source,
+    paper_variants,
+)
+
+
+def _pipeline_options(args: argparse.Namespace) -> PipelineOptions:
+    return PipelineOptions(
+        analysis=Analysis(args.analysis),
+        promotion=not args.no_promotion,
+        pointer_promotion=args.pointer_promotion,
+    )
+
+
+def _add_variant_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--analysis",
+        choices=[a.value for a in Analysis],
+        default="modref",
+        help="interprocedural analysis (default: modref)",
+    )
+    parser.add_argument(
+        "--no-promotion", action="store_true", help="disable register promotion"
+    )
+    parser.add_argument(
+        "--pointer-promotion",
+        action="store_true",
+        help="enable section 3.3 pointer-based promotion",
+    )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    cell = compile_and_run(
+        source,
+        _pipeline_options(args),
+        name=Path(args.file).stem,
+        machine_options=MachineOptions(max_steps=args.max_steps),
+    )
+    sys.stdout.write(cell.output)
+    print(f"[{cell.variant}] {cell.counters}", file=sys.stderr)
+    return cell.exit_code
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    cells = {}
+    print(f"{'variant':<18} {'total ops':>12} {'loads':>10} {'stores':>10}")
+    print("-" * 54)
+    for name, options in paper_variants(
+        pointer_promotion=args.pointer_promotion
+    ).items():
+        cell = compile_and_run(
+            source,
+            options,
+            name=Path(args.file).stem,
+            machine_options=MachineOptions(max_steps=args.max_steps),
+        )
+        cells[name] = cell
+        c = cell.counters
+        print(f"{name:<18} {c.total_ops:>12} {c.loads:>10} {c.stores:>10}")
+    check_outputs_agree(cells)
+    print()
+    print("program output (identical across variants):")
+    sys.stdout.write(cells["modref/promo"].output)
+    return 0
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    source = Path(args.file).read_text()
+    if args.no_opt:
+        module = compile_c(source, name=Path(args.file).stem)
+    else:
+        module = compile_source(
+            source, _pipeline_options(args), name=Path(args.file).stem
+        ).module
+    sys.stdout.write(format_module(module))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from .harness import format_figure, run_program_matrix
+    from .workloads import get_workload, workload_names
+
+    names = args.programs or workload_names()
+    unknown = sorted(set(names) - set(workload_names()))
+    if unknown:
+        print(f"unknown workloads: {unknown}", file=sys.stderr)
+        print(f"available: {workload_names()}", file=sys.stderr)
+        return 2
+    results = {}
+    for name in names:
+        print(f"running {name} (4 variants)...", file=sys.stderr)
+        results[name] = run_program_matrix(get_workload(name))
+    for metric in ("total_ops", "stores", "loads"):
+        print(format_figure(results, metric))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Register promotion reproduction (Cooper & Lu, PLDI 1997)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="compile and execute a C file")
+    p_run.add_argument("file")
+    p_run.add_argument("--max-steps", type=int, default=500_000_000)
+    _add_variant_flags(p_run)
+    p_run.set_defaults(func=cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="run all four paper variants")
+    p_cmp.add_argument("file")
+    p_cmp.add_argument("--max-steps", type=int, default=500_000_000)
+    p_cmp.add_argument("--pointer-promotion", action="store_true")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_ir = sub.add_parser("ir", help="print the IL for a C file")
+    p_ir.add_argument("file")
+    p_ir.add_argument("--no-opt", action="store_true",
+                      help="raw front-end output, no analysis/optimization")
+    _add_variant_flags(p_ir)
+    p_ir.set_defaults(func=cmd_ir)
+
+    p_suite = sub.add_parser("suite", help="regenerate Figure 5/6/7 rows")
+    p_suite.add_argument("programs", nargs="*")
+    p_suite.set_defaults(func=cmd_suite)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

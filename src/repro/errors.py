@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro compiler.
+
+Every error raised by the library derives from :class:`ReproError`, so
+embedders can catch one type.  Subclasses separate the three phases where
+user-visible failures can originate: parsing/lowering C source, verifying or
+transforming IR, and executing IR on the interpreter.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro compiler."""
+
+
+class FrontendError(ReproError):
+    """A C source program could not be parsed or lowered to IR.
+
+    Carries an optional source coordinate so messages can point at the
+    offending construct.
+    """
+
+    def __init__(self, message: str, coord: object | None = None) -> None:
+        self.coord = coord
+        if coord is not None:
+            message = f"{coord}: {message}"
+        super().__init__(message)
+
+
+class UnsupportedFeatureError(FrontendError):
+    """The program uses a C feature outside the supported subset."""
+
+
+class IRError(ReproError):
+    """The IR is malformed (verification failure or illegal construction)."""
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked for facts it cannot produce."""
+
+
+class InterpError(ReproError):
+    """A runtime fault while interpreting IR (bad address, missing function,
+    division by zero, ...)."""
+
+
+class InterpTrap(InterpError):
+    """The interpreted program performed an operation with undefined
+    behaviour (out-of-bounds access, use of an uninitialized cell when strict
+    mode is enabled)."""
+
+
+class ResourceLimitError(InterpError):
+    """The interpreted program exceeded a configured fuel/step or memory
+    limit."""

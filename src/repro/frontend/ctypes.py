@@ -1,0 +1,34 @@
+"""Re-export of the C type model.
+
+The model lives in :mod:`repro.ctype_model` (outside the frontend package)
+so that :mod:`repro.intrinsics` can use it without importing the whole
+front end; this shim keeps ``repro.frontend.ctypes`` as the public path.
+"""
+
+from ..ctype_model import *  # noqa: F401,F403
+from ..ctype_model import (  # noqa: F401
+    ArrayType,
+    CHAR,
+    CHAR_PTR,
+    CType,
+    DOUBLE,
+    FloatType,
+    FunctionType,
+    INT,
+    IntType,
+    LONG,
+    PointerType,
+    SHORT,
+    StructField,
+    StructType,
+    UINT,
+    ULONG,
+    VOID,
+    VoidType,
+    WORD,
+    align_up,
+    build_struct,
+    decay,
+    natural_alignment,
+    usual_arithmetic,
+)

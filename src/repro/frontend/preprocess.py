@@ -1,0 +1,192 @@
+"""A deliberately small C preprocessor.
+
+pycparser consumes already-preprocessed source.  The workloads in this
+repository only use three preprocessor features, so we implement exactly
+those rather than shipping a full cpp:
+
+* ``#include`` lines are dropped (the runtime intrinsics are built in);
+* object-like ``#define NAME token(s)`` macros are expanded textually at
+  identifier boundaries, with recursive expansion of macros that mention
+  other macros;
+* ``#ifdef/#ifndef/#else/#endif`` blocks over the defined macro set.
+
+Function-like macros raise :class:`UnsupportedFeatureError` so mistakes
+fail loudly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import UnsupportedFeatureError
+
+_DEFINE_RE = re.compile(r"^\s*#\s*define\s+(\w+)(\(?)\s*(.*?)\s*$")
+_INCLUDE_RE = re.compile(r"^\s*#\s*include\b")
+_IFDEF_RE = re.compile(r"^\s*#\s*ifdef\s+(\w+)\s*$")
+_IFNDEF_RE = re.compile(r"^\s*#\s*ifndef\s+(\w+)\s*$")
+_ELSE_RE = re.compile(r"^\s*#\s*else\s*$")
+_ENDIF_RE = re.compile(r"^\s*#\s*endif\s*$")
+_UNDEF_RE = re.compile(r"^\s*#\s*undef\s+(\w+)\s*$")
+_WORD_RE = re.compile(r"\b\w+\b")
+
+_MAX_EXPANSION_DEPTH = 32
+
+
+def preprocess(source: str, defines: dict[str, str] | None = None) -> str:
+    """Expand the supported directives; return pycparser-ready C."""
+    source = strip_comments(source)
+    macros: dict[str, str] = dict(defines or {})
+    out_lines: list[str] = []
+    # stack of booleans: are we currently emitting?
+    active_stack: list[bool] = []
+
+    def active() -> bool:
+        return all(active_stack)
+
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if _INCLUDE_RE.match(line):
+            out_lines.append("")
+            continue
+        m = _IFDEF_RE.match(line)
+        if m:
+            active_stack.append(m.group(1) in macros)
+            out_lines.append("")
+            continue
+        m = _IFNDEF_RE.match(line)
+        if m:
+            active_stack.append(m.group(1) not in macros)
+            out_lines.append("")
+            continue
+        if _ELSE_RE.match(line):
+            if not active_stack:
+                raise UnsupportedFeatureError(f"line {lineno}: #else without #if")
+            active_stack[-1] = not active_stack[-1]
+            out_lines.append("")
+            continue
+        if _ENDIF_RE.match(line):
+            if not active_stack:
+                raise UnsupportedFeatureError(f"line {lineno}: #endif without #if")
+            active_stack.pop()
+            out_lines.append("")
+            continue
+        if not active():
+            out_lines.append("")
+            continue
+        m = _UNDEF_RE.match(line)
+        if m:
+            macros.pop(m.group(1), None)
+            out_lines.append("")
+            continue
+        m = _DEFINE_RE.match(line)
+        if m:
+            name, paren, body = m.groups()
+            if paren == "(":
+                raise UnsupportedFeatureError(
+                    f"line {lineno}: function-like macro {name} is not supported"
+                )
+            macros[name] = body
+            out_lines.append("")
+            continue
+        if line.lstrip().startswith("#"):
+            raise UnsupportedFeatureError(
+                f"line {lineno}: unsupported preprocessor directive: {line.strip()}"
+            )
+        out_lines.append(_expand(line, macros))
+
+    if active_stack:
+        raise UnsupportedFeatureError("unterminated #ifdef/#ifndef block")
+    return "\n".join(out_lines) + "\n"
+
+
+def strip_comments(source: str) -> str:
+    """Remove ``/* ... */`` and ``// ...`` comments, preserving string and
+    character literals and keeping line numbers stable (block comments are
+    replaced by the newlines they spanned)."""
+    out: list[str] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in "\"'":
+            quote = ch
+            j = i + 1
+            while j < n:
+                if source[j] == "\\":
+                    j += 2
+                    continue
+                if source[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            out.append(source[i:j])
+            i = j
+        elif ch == "/" and i + 1 < n and source[i + 1] == "*":
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise UnsupportedFeatureError("unterminated block comment")
+            out.append(" ")
+            out.append("\n" * source.count("\n", i, end + 2))
+            i = end + 2
+        elif ch == "/" and i + 1 < n and source[i + 1] == "/":
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _expand(line: str, macros: dict[str, str]) -> str:
+    """Expand object-like macros in a line, skipping string literals."""
+    if not macros:
+        return line
+    pieces = _split_strings(line)
+    expanded: list[str] = []
+    for piece, is_string in pieces:
+        if is_string:
+            expanded.append(piece)
+            continue
+        for _ in range(_MAX_EXPANSION_DEPTH):
+            new_piece = _WORD_RE.sub(
+                lambda m: macros.get(m.group(0), m.group(0)), piece
+            )
+            if new_piece == piece:
+                break
+            piece = new_piece
+        else:
+            raise UnsupportedFeatureError(
+                f"macro expansion did not terminate in: {line.strip()}"
+            )
+        expanded.append(piece)
+    return "".join(expanded)
+
+
+def _split_strings(line: str) -> list[tuple[str, bool]]:
+    """Split a line into (text, inside_string_or_char_literal) runs."""
+    pieces: list[tuple[str, bool]] = []
+    i = 0
+    n = len(line)
+    start = 0
+    while i < n:
+        ch = line[i]
+        if ch in "\"'":
+            if start < i:
+                pieces.append((line[start:i], False))
+            quote = ch
+            j = i + 1
+            while j < n:
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == quote:
+                    j += 1
+                    break
+                j += 1
+            pieces.append((line[i:j], True))
+            i = j
+            start = j
+        else:
+            i += 1
+    if start < n:
+        pieces.append((line[start:], False))
+    return pieces

@@ -1,0 +1,25 @@
+"""Experiment harness: the paper's Figures 5-7 matrix and formatting."""
+
+from .experiments import (
+    FigureRow,
+    METRICS,
+    ProgramResult,
+    figure_rows,
+    run_program_matrix,
+    run_single,
+    run_suite,
+)
+from .tables import format_figure, format_rows, summary_line
+
+__all__ = [
+    "FigureRow",
+    "METRICS",
+    "ProgramResult",
+    "figure_rows",
+    "format_figure",
+    "format_rows",
+    "run_program_matrix",
+    "run_single",
+    "run_suite",
+    "summary_line",
+]

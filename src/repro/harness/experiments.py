@@ -1,0 +1,140 @@
+"""The Figures 5-7 experiment harness.
+
+Runs the paper's four-variant matrix — {MOD/REF, points-to} x {without,
+with promotion} — over the 14-program suite, checks that every variant
+produces identical program output (the end-to-end correctness oracle),
+and tabulates total operations, stores, and loads exactly like the
+paper's figures: ``without | with | difference | % removed`` per program
+per analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..interp import MachineOptions
+from ..pipeline import (
+    ExperimentCell,
+    PipelineOptions,
+    check_outputs_agree,
+    compile_and_run,
+    paper_variants,
+)
+from ..regalloc import RegAllocOptions
+from ..workloads import Workload, all_workloads, get_workload
+
+#: the metrics the paper reports, figure by figure
+METRICS = ("total_ops", "stores", "loads")
+
+
+@dataclass
+class ProgramResult:
+    """All four variants for one program."""
+
+    name: str
+    cells: dict[str, ExperimentCell] = field(default_factory=dict)
+
+    def metric(self, variant: str, metric: str) -> int:
+        counters = self.cells[variant].counters
+        return getattr(counters, metric)
+
+    def row(self, analysis: str, metric: str) -> "FigureRow":
+        without = self.metric(f"{analysis}/nopromo", metric)
+        with_ = self.metric(f"{analysis}/promo", metric)
+        return FigureRow(
+            program=self.name,
+            analysis=analysis,
+            without=without,
+            with_promotion=with_,
+        )
+
+
+@dataclass(frozen=True)
+class FigureRow:
+    """One row of Figure 5, 6, or 7."""
+
+    program: str
+    analysis: str
+    without: int
+    with_promotion: int
+
+    @property
+    def difference(self) -> int:
+        return self.without - self.with_promotion
+
+    @property
+    def percent_removed(self) -> float:
+        if self.without == 0:
+            return 0.0
+        return 100.0 * self.difference / self.without
+
+
+def run_program_matrix(
+    workload: Workload,
+    pointer_promotion: bool = False,
+    regalloc: RegAllocOptions | None = None,
+    max_steps: int = 50_000_000,
+    check_agreement: bool = True,
+) -> ProgramResult:
+    """Compile and run all four variants of one workload."""
+    result = ProgramResult(name=workload.name)
+    machine = MachineOptions(max_steps=max_steps)
+    for variant, options in paper_variants(
+        pointer_promotion=pointer_promotion, regalloc=regalloc
+    ).items():
+        result.cells[variant] = compile_and_run(
+            workload.source,
+            options,
+            name=workload.name,
+            defines=workload.defines,
+            machine_options=machine,
+        )
+    if check_agreement:
+        check_outputs_agree(result.cells)
+    return result
+
+
+def run_suite(
+    names: list[str] | None = None,
+    pointer_promotion: bool = False,
+    regalloc: RegAllocOptions | None = None,
+) -> dict[str, ProgramResult]:
+    """The full suite (or a named subset), one matrix per program."""
+    workloads = (
+        [get_workload(n) for n in names] if names is not None else all_workloads()
+    )
+    return {
+        w.name: run_program_matrix(
+            w, pointer_promotion=pointer_promotion, regalloc=regalloc
+        )
+        for w in workloads
+    }
+
+
+def figure_rows(
+    results: dict[str, ProgramResult], metric: str
+) -> list[FigureRow]:
+    """All rows of one figure: per program, the modref and pointer rows."""
+    if metric not in METRICS:
+        raise ValueError(f"unknown metric {metric!r}; pick one of {METRICS}")
+    rows: list[FigureRow] = []
+    for result in results.values():
+        rows.append(result.row("modref", metric))
+        rows.append(result.row("pointer", metric))
+    return rows
+
+
+def run_single(
+    name: str,
+    options: PipelineOptions,
+    max_steps: int = 50_000_000,
+) -> ExperimentCell:
+    """One (program, pipeline-variant) cell — used by the ablations."""
+    workload = get_workload(name)
+    return compile_and_run(
+        workload.source,
+        options,
+        name=workload.name,
+        defines=workload.defines,
+        machine_options=MachineOptions(max_steps=max_steps),
+    )

@@ -1,0 +1,53 @@
+"""Figure formatting: render experiment results in the paper's layout.
+
+The paper's Figures 5-7 are tables with one pair of rows per program::
+
+    Program     analysis   without      with         difference   % removed
+    mlink       modref     132386726    126902038    5484688      4.14
+                pointer    130108670    124562634    5546036      4.26
+"""
+
+from __future__ import annotations
+
+from .experiments import FigureRow, ProgramResult, figure_rows
+
+_TITLES = {
+    "total_ops": "Figure 5: Total Operations",
+    "stores": "Figure 6: Stores",
+    "loads": "Figure 7: Loads",
+}
+
+
+def format_figure(results: dict[str, ProgramResult], metric: str) -> str:
+    rows = figure_rows(results, metric)
+    return format_rows(rows, title=_TITLES.get(metric, metric))
+
+
+def format_rows(rows: list[FigureRow], title: str = "") -> str:
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'Program':<12} {'analysis':<8} {'without':>12} {'with':>12} "
+        f"{'difference':>12} {'% removed':>10}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    last_program = None
+    for row in rows:
+        program = row.program if row.program != last_program else ""
+        last_program = row.program
+        lines.append(
+            f"{program:<12} {row.analysis:<8} {row.without:>12} "
+            f"{row.with_promotion:>12} {row.difference:>12} "
+            f"{row.percent_removed:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def summary_line(rows: list[FigureRow]) -> str:
+    """Aggregate view: how many programs improved / flat / regressed."""
+    improved = sum(1 for r in rows if r.percent_removed > 0.5)
+    flat = sum(1 for r in rows if -0.5 <= r.percent_removed <= 0.5)
+    regressed = sum(1 for r in rows if r.percent_removed < -0.5)
+    return f"improved={improved} flat={flat} regressed={regressed}"

@@ -1,0 +1,48 @@
+"""Dynamic operation counters.
+
+These are the paper's three instrumentation metrics (Figures 5, 6, 7):
+total operations executed, stores executed, and loads executed.  Loads are
+``cload``/``sload``/``load``; an immediate ``loadi`` is not a memory
+reference and is not counted as a load (it still counts as an operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Counters:
+    total_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    #: finer breakdown, useful for the ablation benches
+    scalar_loads: int = 0
+    scalar_stores: int = 0
+    general_loads: int = 0
+    general_stores: int = 0
+    copies: int = 0
+    calls: int = 0
+    branches: int = 0
+
+    def memory_ops(self) -> int:
+        return self.loads + self.stores
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "total_ops": self.total_ops,
+            "loads": self.loads,
+            "stores": self.stores,
+            "scalar_loads": self.scalar_loads,
+            "scalar_stores": self.scalar_stores,
+            "general_loads": self.general_loads,
+            "general_stores": self.general_stores,
+            "copies": self.copies,
+            "calls": self.calls,
+            "branches": self.branches,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"ops={self.total_ops} loads={self.loads} stores={self.stores}"
+        )

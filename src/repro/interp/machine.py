@@ -1,0 +1,462 @@
+"""The instrumented IL interpreter.
+
+Executes a module deterministically and counts every operation, load, and
+store it performs — the measurement apparatus behind the paper's
+Figures 5-7.  Semantics follow C on an LP64 machine: 64-bit two's
+complement integer arithmetic, truncating integer division, IEEE doubles.
+
+The machine is also the *substitute for the paper's hardware testbed*: the
+paper instrumented compiled binaries; we instrument IL execution, which
+measures the same three quantities exactly (and deterministically).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..errors import InterpError, InterpTrap, ResourceLimitError
+from ..intrinsics import ALLOCATORS, is_intrinsic
+from ..ir.function import Function
+from ..ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    CLoad,
+    Jump,
+    LoadAddr,
+    LoadI,
+    MemLoad,
+    MemStore,
+    Mov,
+    Nop,
+    Phi,
+    Ret,
+    ScalarLoad,
+    ScalarStore,
+    UnOp,
+)
+from ..ir.module import Module
+from ..ir.opcodes import Opcode
+from ..ir.tags import TagKind
+from .counters import Counters
+from .memory import MemoryImage
+
+_INT_MASK = (1 << 64) - 1
+_INT_SIGN = 1 << 63
+
+
+def wrap_int(value: int) -> int:
+    """Reduce to signed 64-bit two's complement."""
+    value &= _INT_MASK
+    if value & _INT_SIGN:
+        value -= 1 << 64
+    return value
+
+
+def c_div(a: int, b: int) -> int:
+    """C integer division: truncation toward zero."""
+    if b == 0:
+        raise InterpTrap("integer division by zero")
+    q = abs(a) // abs(b)
+    if (a < 0) != (b < 0):
+        q = -q
+    return wrap_int(q)
+
+
+def c_mod(a: int, b: int) -> int:
+    return wrap_int(a - c_div(a, b) * b)
+
+
+class _ProgramExit(Exception):
+    def __init__(self, code: int) -> None:
+        self.code = code
+
+
+@dataclass
+class RunResult:
+    """Outcome of one interpreted run."""
+
+    exit_code: int
+    counters: Counters
+    output: str
+    #: return value of main (same as exit_code unless exit() was called)
+    returned: int | float | None = None
+
+
+@dataclass
+class MachineOptions:
+    max_steps: int = 500_000_000
+    capture_output: bool = True
+    rand_seed: int = 1
+
+
+class Machine:
+    """Interprets one module.  Create a fresh Machine per run."""
+
+    def __init__(self, module: Module, options: MachineOptions | None = None) -> None:
+        self.module = module
+        self.options = options or MachineOptions()
+        self.mem = MemoryImage(module)
+        self.counters = Counters()
+        self.output: list[str] = []
+        self._rand_state = self.options.rand_seed
+        self._call_depth = 0
+        self._heap_site_of_addr: dict[int, int] = {}
+
+    # -- public API --------------------------------------------------------
+    def run(self, entry: str = "main") -> RunResult:
+        func = self.module.functions.get(entry)
+        if func is None:
+            raise InterpError(f"no entry function {entry!r}")
+        # the interpreter recurses once per interpreted call; make room in
+        # the Python stack for the machine's own depth limit
+        import sys
+
+        if sys.getrecursionlimit() < 40_000:
+            sys.setrecursionlimit(40_000)
+        try:
+            value = self._exec_function(func, [])
+            code = int(value) if isinstance(value, (int, float)) else 0
+        except _ProgramExit as exit_:
+            value = None
+            code = exit_.code
+        return RunResult(
+            exit_code=wrap_int(code) & 0xFF if code >= 0 else code,
+            counters=self.counters,
+            output="".join(self.output),
+            returned=value,
+        )
+
+    # -- execution core ------------------------------------------------------
+    def _exec_function(
+        self, func: Function, args: list[int | float]
+    ) -> int | float | None:
+        self._call_depth += 1
+        if self._call_depth > 2000:
+            raise ResourceLimitError("interpreted call stack too deep")
+        saved_sp = self.mem.stack_ptr
+        frame_addrs = self.mem.push_frame(func.local_tags, func.local_tag_sizes)
+
+        nregs = func.max_vreg_id() + 1
+        regs: list[int | float] = [0] * nregs
+        for reg, value in zip(func.params, args):
+            regs[reg.id] = value
+
+        counters = self.counters
+        mem = self.mem
+        cells = mem.cells
+        max_steps = self.options.max_steps
+        label = func.entry
+        result: int | float | None = None
+
+        try:
+            while True:
+                block = func.blocks[label]
+                next_label: str | None = None
+                for instr in block.instrs:
+                    counters.total_ops += 1
+                    if counters.total_ops > max_steps:
+                        raise ResourceLimitError(
+                            f"exceeded {max_steps} executed operations"
+                        )
+                    cls = type(instr)
+                    if cls is BinOp:
+                        regs[instr.dst.id] = _binop(
+                            instr.opcode, regs[instr.lhs.id], regs[instr.rhs.id]
+                        )
+                    elif cls is LoadI:
+                        regs[instr.dst.id] = instr.value
+                    elif cls is Mov:
+                        counters.copies += 1
+                        regs[instr.dst.id] = regs[instr.src.id]
+                    elif cls is ScalarLoad:
+                        counters.loads += 1
+                        counters.scalar_loads += 1
+                        addr = self._tag_addr(instr.tag, frame_addrs)
+                        regs[instr.dst.id] = cells.get(addr, 0)
+                    elif cls is ScalarStore:
+                        counters.stores += 1
+                        counters.scalar_stores += 1
+                        addr = self._tag_addr(instr.tag, frame_addrs)
+                        cells[addr] = regs[instr.src.id]
+                    elif cls is MemLoad:
+                        counters.loads += 1
+                        counters.general_loads += 1
+                        addr = regs[instr.addr.id]
+                        if not isinstance(addr, int):
+                            raise InterpTrap(f"load through non-integer address {addr!r}")
+                        regs[instr.dst.id] = cells.get(addr, 0)
+                    elif cls is MemStore:
+                        counters.stores += 1
+                        counters.general_stores += 1
+                        addr = regs[instr.addr.id]
+                        if not isinstance(addr, int):
+                            raise InterpTrap(f"store through non-integer address {addr!r}")
+                        cells[addr] = regs[instr.src.id]
+                    elif cls is CLoad:
+                        counters.loads += 1
+                        counters.scalar_loads += 1
+                        addr = self._tag_addr(instr.tag, frame_addrs)
+                        regs[instr.dst.id] = cells.get(addr, 0)
+                    elif cls is UnOp:
+                        regs[instr.dst.id] = _unop(instr.opcode, regs[instr.src.id])
+                    elif cls is LoadAddr:
+                        regs[instr.dst.id] = (
+                            self._tag_addr(instr.tag, frame_addrs) + instr.offset
+                        )
+                    elif cls is Jump:
+                        next_label = instr.target
+                        break
+                    elif cls is Branch:
+                        counters.branches += 1
+                        next_label = (
+                            instr.if_true if regs[instr.cond.id] != 0 else instr.if_false
+                        )
+                        break
+                    elif cls is Ret:
+                        if instr.value is not None:
+                            result = regs[instr.value.id]
+                        return result
+                    elif cls is Call:
+                        counters.calls += 1
+                        value = self._exec_call(instr, regs)
+                        if instr.dst is not None:
+                            regs[instr.dst.id] = value if value is not None else 0
+                    elif cls is Nop:
+                        counters.total_ops -= 1  # structural, never "executed"
+                    elif cls is Phi:
+                        raise InterpError(
+                            "phi reached the interpreter; destruct SSA first"
+                        )
+                    else:  # pragma: no cover - defensive
+                        raise InterpError(f"unknown instruction {instr}")
+                if next_label is None:
+                    raise InterpError(
+                        f"block {label} in {func.name} fell through without terminator"
+                    )
+                label = next_label
+        finally:
+            self.mem.pop_frame(saved_sp)
+            self._call_depth -= 1
+
+    # -- helpers -----------------------------------------------------------
+    def _tag_addr(self, tag, frame_addrs: dict[str, int]) -> int:
+        if tag.kind is TagKind.LOCAL:
+            addr = frame_addrs.get(tag.name)
+            if addr is None:
+                raise InterpError(f"local tag {tag.name} has no frame slot")
+            return addr
+        addr = self.mem.global_addr.get(tag.name)
+        if addr is not None:
+            return addr
+        addr = self.mem.string_addr.get(tag.name)
+        if addr is not None:
+            return addr
+        raise InterpError(f"tag {tag.name} has no address")
+
+    def _exec_call(self, instr: Call, regs: list[int | float]) -> int | float | None:
+        args = [regs[a.id] for a in instr.args]
+        name = instr.callee
+        if name is None:
+            raise InterpError("indirect calls are not executable in this build")
+        target = self.module.functions.get(name)
+        if target is not None:
+            return self._exec_function(target, args)
+        if is_intrinsic(name):
+            return self._exec_intrinsic(name, args, instr)
+        raise InterpError(f"call to unknown function {name!r}")
+
+    # -- intrinsics ---------------------------------------------------------
+    def _exec_intrinsic(
+        self, name: str, args: list[int | float], instr: Call
+    ) -> int | float | None:
+        mem = self.mem
+        if name == "printf":
+            return self._printf(args)
+        if name == "putchar":
+            ch = int(args[0]) & 0xFF
+            if self.options.capture_output:
+                self.output.append(chr(ch))
+            return int(args[0])
+        if name == "puts":
+            text = mem.read_c_string(int(args[0]))
+            if self.options.capture_output:
+                self.output.append(text + "\n")
+            return 0
+        if name in ALLOCATORS:
+            if name == "calloc":
+                size = int(args[0]) * int(args[1])
+            else:
+                size = int(args[0])
+            addr = mem.allocate(max(size, 1))
+            self._heap_site_of_addr[addr] = instr.site_id
+            return addr
+        if name == "free":
+            mem.free(int(args[0]))
+            return None
+        if name == "sqrt":
+            return math.sqrt(float(args[0]))
+        if name == "fabs":
+            return abs(float(args[0]))
+        if name == "sin":
+            return math.sin(float(args[0]))
+        if name == "cos":
+            return math.cos(float(args[0]))
+        if name == "exp":
+            return math.exp(float(args[0]))
+        if name == "log":
+            return math.log(float(args[0]))
+        if name == "pow":
+            return math.pow(float(args[0]), float(args[1]))
+        if name == "floor":
+            return math.floor(float(args[0]))
+        if name == "abs" or name == "labs":
+            return wrap_int(abs(int(args[0])))
+        if name == "rand":
+            self._rand_state = (self._rand_state * 1103515245 + 12345) & 0x7FFFFFFF
+            return (self._rand_state >> 16) & 0x7FFF
+        if name == "srand":
+            self._rand_state = int(args[0]) & 0x7FFFFFFF
+            return None
+        if name == "memset":
+            base, value, count = int(args[0]), int(args[1]), int(args[2])
+            for i in range(count):
+                mem.cells[base + i] = value & 0xFF if value else 0
+            return base
+        if name == "memcpy":
+            dst, src, count = int(args[0]), int(args[1]), int(args[2])
+            for i in range(count):
+                mem.cells[dst + i] = mem.cells.get(src + i, 0)
+            return dst
+        if name == "strlen":
+            return len(mem.read_c_string(int(args[0])))
+        if name == "strcmp":
+            a = mem.read_c_string(int(args[0]))
+            b = mem.read_c_string(int(args[1]))
+            return (a > b) - (a < b)
+        if name == "strcpy":
+            dst, src = int(args[0]), int(args[1])
+            text = mem.read_c_string(src)
+            for i, ch in enumerate(text):
+                mem.cells[dst + i] = ord(ch)
+            mem.cells[dst + len(text)] = 0
+            return dst
+        if name == "exit":
+            raise _ProgramExit(int(args[0]))
+        if name == "clock":
+            return self.counters.total_ops
+        raise InterpError(f"intrinsic {name!r} is not implemented")
+
+    def _printf(self, args: list[int | float]) -> int:
+        fmt = self.mem.read_c_string(int(args[0]))
+        out: list[str] = []
+        arg_iter = iter(args[1:])
+        i = 0
+        while i < len(fmt):
+            ch = fmt[i]
+            if ch != "%":
+                out.append(ch)
+                i += 1
+                continue
+            # scan the conversion spec: %[flags][width][.prec][length]conv
+            j = i + 1
+            while j < len(fmt) and fmt[j] in "-+ 0123456789.#lh":
+                j += 1
+            if j >= len(fmt):
+                out.append("%")
+                break
+            conv = fmt[j]
+            spec = fmt[i:j + 1]
+            if conv == "%":
+                out.append("%")
+            elif conv in "dioux":
+                value = int(next(arg_iter, 0))
+                out.append(_c_format(spec.replace("l", ""), value))
+            elif conv in "feg":
+                value = float(next(arg_iter, 0.0))
+                out.append(_c_format(spec, value))
+            elif conv == "c":
+                out.append(chr(int(next(arg_iter, 0)) & 0xFF))
+            elif conv == "s":
+                out.append(self.mem.read_c_string(int(next(arg_iter, 0))))
+            else:
+                raise InterpError(f"printf conversion %{conv} unsupported")
+            i = j + 1
+        text = "".join(out)
+        if self.options.capture_output:
+            self.output.append(text)
+        return len(text)
+
+
+def _c_format(spec: str, value: int | float) -> str:
+    try:
+        return spec % value
+    except (TypeError, ValueError) as exc:
+        raise InterpError(f"bad printf spec {spec!r}: {exc}") from exc
+
+
+def _binop(op: Opcode, a: int | float, b: int | float) -> int | float:
+    both_int = isinstance(a, int) and isinstance(b, int)
+    if op is Opcode.ADD:
+        return wrap_int(a + b) if both_int else a + b
+    if op is Opcode.SUB:
+        return wrap_int(a - b) if both_int else a - b
+    if op is Opcode.MUL:
+        return wrap_int(a * b) if both_int else a * b
+    if op is Opcode.DIV:
+        if both_int:
+            return c_div(a, b)
+        if b == 0:
+            raise InterpTrap("floating division by zero")
+        return a / b
+    if op is Opcode.MOD:
+        if not both_int:
+            raise InterpTrap("% applied to floating operand")
+        return c_mod(a, b)
+    if op is Opcode.AND:
+        return wrap_int(int(a) & int(b))
+    if op is Opcode.OR:
+        return wrap_int(int(a) | int(b))
+    if op is Opcode.XOR:
+        return wrap_int(int(a) ^ int(b))
+    if op is Opcode.SHL:
+        return wrap_int(int(a) << (int(b) & 63))
+    if op is Opcode.SHR:
+        return wrap_int(int(a) >> (int(b) & 63))
+    if op is Opcode.CMP_LT:
+        return int(a < b)
+    if op is Opcode.CMP_LE:
+        return int(a <= b)
+    if op is Opcode.CMP_GT:
+        return int(a > b)
+    if op is Opcode.CMP_GE:
+        return int(a >= b)
+    if op is Opcode.CMP_EQ:
+        return int(a == b)
+    if op is Opcode.CMP_NE:
+        return int(a != b)
+    raise InterpError(f"unknown binary opcode {op}")
+
+
+def _unop(op: Opcode, a: int | float) -> int | float:
+    if op is Opcode.NEG:
+        return wrap_int(-a) if isinstance(a, int) else -a
+    if op is Opcode.NOT:
+        return wrap_int(~int(a))
+    if op is Opcode.LNOT:
+        return int(a == 0)
+    if op is Opcode.I2F:
+        return float(a)
+    if op is Opcode.F2I:
+        return wrap_int(int(a))
+    raise InterpError(f"unknown unary opcode {op}")
+
+
+def run_module(
+    module: Module,
+    entry: str = "main",
+    options: MachineOptions | None = None,
+) -> RunResult:
+    """Convenience: interpret ``module`` from ``entry`` and return the result."""
+    return Machine(module, options).run(entry)

@@ -1,0 +1,105 @@
+"""The runtime intrinsics shared by the front end, the analyses, and the
+interpreter.
+
+Each intrinsic carries the side-effect policy the front end uses to seed a
+call's MOD/REF tag summaries:
+
+``NONE``
+    The call neither reads nor writes user-visible memory (pure math,
+    allocation, PRNG — the PRNG state is internal and unreachable from
+    user pointers).
+``POINTER_ARGS``
+    The call may read (REF) and possibly write (MOD) memory reachable from
+    its pointer arguments; the front end seeds the summary with the
+    universal set when a pointer is actually passed, and interprocedural
+    analysis shrinks it like any other tag set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .ctype_model import (
+    CHAR_PTR,
+    CType,
+    DOUBLE,
+    INT,
+    LONG,
+    PointerType,
+    VOID,
+    VoidType,
+)
+
+
+class EffectPolicy(enum.Enum):
+    NONE = "none"
+    POINTER_ARGS = "pointer_args"
+
+
+@dataclass(frozen=True)
+class IntrinsicSpec:
+    name: str
+    ret: CType
+    #: may the intrinsic write through pointer arguments?
+    writes_pointees: bool
+    #: may the intrinsic read through pointer arguments?
+    reads_pointees: bool
+
+    @property
+    def policy(self) -> EffectPolicy:
+        if self.writes_pointees or self.reads_pointees:
+            return EffectPolicy.POINTER_ARGS
+        return EffectPolicy.NONE
+
+
+_VOID_PTR = PointerType(VoidType())
+
+INTRINSICS: dict[str, IntrinsicSpec] = {
+    spec.name: spec
+    for spec in [
+        # -- I/O -------------------------------------------------------------
+        IntrinsicSpec("printf", INT, writes_pointees=False, reads_pointees=True),
+        IntrinsicSpec("putchar", INT, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("puts", INT, writes_pointees=False, reads_pointees=True),
+        # -- allocation ---------------------------------------------------------
+        IntrinsicSpec("malloc", _VOID_PTR, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("calloc", _VOID_PTR, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("free", VOID, writes_pointees=False, reads_pointees=False),
+        # -- math ---------------------------------------------------------------
+        IntrinsicSpec("sqrt", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("fabs", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("sin", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("cos", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("exp", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("log", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("pow", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("floor", DOUBLE, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("abs", INT, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("labs", LONG, writes_pointees=False, reads_pointees=False),
+        # -- PRNG (state is internal; user pointers cannot reach it) ----------
+        IntrinsicSpec("rand", INT, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("srand", VOID, writes_pointees=False, reads_pointees=False),
+        # -- memory utilities --------------------------------------------------
+        IntrinsicSpec("memset", _VOID_PTR, writes_pointees=True, reads_pointees=False),
+        IntrinsicSpec("memcpy", _VOID_PTR, writes_pointees=True, reads_pointees=True),
+        IntrinsicSpec("strlen", LONG, writes_pointees=False, reads_pointees=True),
+        IntrinsicSpec("strcmp", INT, writes_pointees=False, reads_pointees=True),
+        IntrinsicSpec("strcpy", CHAR_PTR, writes_pointees=True, reads_pointees=True),
+        # -- test/benchmark support --------------------------------------------
+        IntrinsicSpec("exit", VOID, writes_pointees=False, reads_pointees=False),
+        IntrinsicSpec("clock", LONG, writes_pointees=False, reads_pointees=False),
+    ]
+}
+
+#: names the interpreter treats as heap allocators (heap tags are named by
+#: the allocation call site, matching the paper's heap model)
+ALLOCATORS = frozenset({"malloc", "calloc"})
+
+
+def is_intrinsic(name: str) -> bool:
+    return name in INTRINSICS
+
+
+def intrinsic(name: str) -> IntrinsicSpec:
+    return INTRINSICS[name]

@@ -1,0 +1,171 @@
+"""A convenience builder for constructing IL by hand.
+
+The front end and the tests both need to emit instruction streams; the
+builder tracks the current insertion block, allocates registers, and offers
+one short method per opcode.  Example::
+
+    b = IRBuilder(func)
+    b.set_block(func.new_block("entry"))
+    one = b.loadi(1)
+    count = b.sload(count_tag)
+    total = b.add(count, one)
+    b.sstore(total, count_tag)
+    b.ret()
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import IRError
+from .function import BasicBlock, Function
+from .instructions import (
+    BinOp,
+    Branch,
+    Call,
+    CLoad,
+    Instr,
+    Jump,
+    LoadAddr,
+    LoadI,
+    MemLoad,
+    MemStore,
+    Mov,
+    Ret,
+    ScalarLoad,
+    ScalarStore,
+    UnOp,
+    VReg,
+)
+from .opcodes import Opcode
+from .tags import Tag, TagSet
+
+
+class IRBuilder:
+    """Stateful instruction emitter for one function."""
+
+    def __init__(self, func: Function) -> None:
+        self.func = func
+        self._block: BasicBlock | None = None
+
+    # -- block management ------------------------------------------------
+    @property
+    def block(self) -> BasicBlock:
+        if self._block is None:
+            raise IRError("no insertion block selected")
+        return self._block
+
+    def set_block(self, block: BasicBlock) -> BasicBlock:
+        self._block = block
+        return block
+
+    def new_block(self, hint: str = "B") -> BasicBlock:
+        return self.func.new_block(hint)
+
+    def start_block(self, hint: str = "B") -> BasicBlock:
+        """Create a new block and make it the insertion point."""
+        return self.set_block(self.new_block(hint))
+
+    def is_terminated(self) -> bool:
+        return self._block is not None and self._block.is_terminated()
+
+    # -- emission ------------------------------------------------------------
+    def emit(self, instr: Instr) -> Instr:
+        self.block.append(instr)
+        return instr
+
+    def reg(self, hint: str = "") -> VReg:
+        return self.func.new_vreg(hint)
+
+    # -- data movement --------------------------------------------------------
+    def loadi(self, value: int | float, hint: str = "") -> VReg:
+        dst = self.reg(hint)
+        self.emit(LoadI(dst, value))
+        return dst
+
+    def mov(self, src: VReg, dst: VReg | None = None, hint: str = "") -> VReg:
+        if dst is None:
+            dst = self.reg(hint)
+        self.emit(Mov(dst, src))
+        return dst
+
+    def la(self, tag: Tag, offset: int = 0, hint: str = "") -> VReg:
+        dst = self.reg(hint or "addr")
+        self.emit(LoadAddr(dst, tag, offset))
+        return dst
+
+    # -- arithmetic ------------------------------------------------------------
+    def binop(self, op: Opcode, lhs: VReg, rhs: VReg, hint: str = "") -> VReg:
+        dst = self.reg(hint)
+        self.emit(BinOp(op, dst, lhs, rhs))
+        return dst
+
+    def add(self, a: VReg, b: VReg, hint: str = "") -> VReg:
+        return self.binop(Opcode.ADD, a, b, hint)
+
+    def sub(self, a: VReg, b: VReg, hint: str = "") -> VReg:
+        return self.binop(Opcode.SUB, a, b, hint)
+
+    def mul(self, a: VReg, b: VReg, hint: str = "") -> VReg:
+        return self.binop(Opcode.MUL, a, b, hint)
+
+    def div(self, a: VReg, b: VReg, hint: str = "") -> VReg:
+        return self.binop(Opcode.DIV, a, b, hint)
+
+    def unop(self, op: Opcode, src: VReg, hint: str = "") -> VReg:
+        dst = self.reg(hint)
+        self.emit(UnOp(op, dst, src))
+        return dst
+
+    # -- memory -------------------------------------------------------------
+    def cload(self, tag: Tag, hint: str = "") -> VReg:
+        dst = self.reg(hint)
+        self.emit(CLoad(dst, tag))
+        return dst
+
+    def sload(self, tag: Tag, hint: str = "") -> VReg:
+        dst = self.reg(hint or tag.name.replace(".", "_"))
+        self.emit(ScalarLoad(dst, tag))
+        return dst
+
+    def sstore(self, src: VReg, tag: Tag) -> None:
+        self.emit(ScalarStore(src, tag))
+
+    def load(self, addr: VReg, tags: TagSet, hint: str = "") -> VReg:
+        dst = self.reg(hint)
+        self.emit(MemLoad(dst, addr, tags))
+        return dst
+
+    def store(self, src: VReg, addr: VReg, tags: TagSet) -> None:
+        self.emit(MemStore(src, addr, tags))
+
+    # -- control flow ------------------------------------------------------
+    def jmp(self, target: str | BasicBlock) -> None:
+        label = target.label if isinstance(target, BasicBlock) else target
+        self.emit(Jump(label))
+
+    def cbr(
+        self,
+        cond: VReg,
+        if_true: str | BasicBlock,
+        if_false: str | BasicBlock,
+    ) -> None:
+        t = if_true.label if isinstance(if_true, BasicBlock) else if_true
+        f = if_false.label if isinstance(if_false, BasicBlock) else if_false
+        self.emit(Branch(cond, t, f))
+
+    def ret(self, value: VReg | None = None) -> None:
+        self.emit(Ret(value))
+
+    def call(
+        self,
+        callee: str,
+        args: Sequence[VReg] = (),
+        returns: bool = False,
+        mod: TagSet | None = None,
+        ref: TagSet | None = None,
+        site_id: int = -1,
+    ) -> VReg | None:
+        dst = self.reg("ret") if returns else None
+        self.emit(Call(dst, callee, args, mod, ref, site_id=site_id))
+        return dst

@@ -1,0 +1,49 @@
+"""Human-readable printing of IL modules and functions.
+
+The textual form is for debugging, documentation, and golden tests; it is
+not parsed back.
+"""
+
+from __future__ import annotations
+
+from .function import Function
+from .module import Module
+
+
+def format_function(func: Function) -> str:
+    lines: list[str] = []
+    params = ", ".join(str(p) for p in func.params)
+    lines.append(f"func {func.name}({params}) {{")
+    if func.local_tags:
+        names = " ".join(t.name for t in func.local_tags)
+        lines.append(f"  ; local tags: {names}")
+    for label, block in func.blocks.items():
+        marker = " ; entry" if label == func.entry else ""
+        lines.append(f"{label}:{marker}")
+        for instr in block.instrs:
+            lines.append(f"    {instr}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_module(module: Module) -> str:
+    lines: list[str] = []
+    lines.append(f"; module {module.name}")
+    for var in module.globals.values():
+        const = "const " if var.is_const else ""
+        init = f" init={var.init}" if var.init else ""
+        lines.append(f"global {const}{var.name} size={var.size}{init}")
+    for lit in module.strings.values():
+        lines.append(f"string {lit.tag.name} = {lit.text!r}")
+    for func in module.functions.values():
+        lines.append("")
+        lines.append(format_function(func))
+    return "\n".join(lines) + "\n"
+
+
+def dump(obj: Module | Function) -> None:  # pragma: no cover - debug aid
+    """Print a module or function to stdout."""
+    if isinstance(obj, Module):
+        print(format_module(obj))
+    else:
+        print(format_function(obj))

@@ -1,0 +1,193 @@
+"""Memory tags: textual names for abstract storage locations.
+
+Every memory operation in the IL carries tags identifying the locations it
+may use (the paper, section 2).  Tags are the currency of the whole
+reproduction: MOD/REF and points-to analysis shrink tag sets, and register
+promotion decides promotability purely from tags.
+
+Tag kinds
+---------
+``GLOBAL``
+    A file-scope variable.  One tag per global.
+``LOCAL``
+    An address-taken local variable or formal parameter, qualified by its
+    owning function (``f.x``).  Locals whose address is never taken live in
+    virtual registers and have no tag at all.
+``HEAP``
+    One tag per allocation call site (the paper's heap model).
+``INTERNAL``
+    Locations private to the runtime (e.g. the PRNG seed) that user pointers
+    can never reach.
+
+A :class:`TagSet` is either a finite set of tags or the *universal* set,
+which stands for "any memory location" and is what the front end emits
+before interprocedural analysis improves it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class TagKind(enum.Enum):
+    GLOBAL = "global"
+    LOCAL = "local"
+    HEAP = "heap"
+    INTERNAL = "internal"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Tag:
+    """A named abstract memory location.
+
+    Parameters
+    ----------
+    name:
+        Unique printable name, e.g. ``"count"``, ``"main.buf"``,
+        ``"heap@12"``.
+    kind:
+        The :class:`TagKind`.
+    is_scalar:
+        True when the tag names a single machine word (an ``int``, a
+        ``double``, a pointer).  Only scalar tags can be register promoted;
+        arrays, structs, and heap blocks are not scalars.
+    owner:
+        For ``LOCAL`` tags, the name of the function whose frame holds the
+        location.  Empty for other kinds.
+    """
+
+    name: str
+    kind: TagKind
+    is_scalar: bool = True
+    owner: str = ""
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Tag({self.name!r}, {self.kind.value}, scalar={self.is_scalar})"
+
+
+@dataclass(frozen=True)
+class TagSet:
+    """An immutable set of tags, possibly universal.
+
+    The universal set represents "may touch any memory location"; it is the
+    top of the lattice and absorbs unions.  Membership, iteration, and size
+    are only meaningful for finite sets.
+    """
+
+    tags: frozenset[Tag] = field(default_factory=frozenset)
+    universal: bool = False
+
+    # -- constructors -----------------------------------------------------
+    @staticmethod
+    def of(*tags: Tag) -> "TagSet":
+        """A finite tag set containing exactly ``tags``."""
+        return TagSet(tags=frozenset(tags))
+
+    @staticmethod
+    def from_iterable(tags: Iterable[Tag]) -> "TagSet":
+        return TagSet(tags=frozenset(tags))
+
+    @staticmethod
+    def empty() -> "TagSet":
+        return _EMPTY
+
+    @staticmethod
+    def universe() -> "TagSet":
+        return _UNIVERSE
+
+    # -- queries ----------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self.universal and not self.tags
+
+    def is_singleton(self) -> bool:
+        return not self.universal and len(self.tags) == 1
+
+    def the_tag(self) -> Tag:
+        """The only member of a singleton set.
+
+        Raises
+        ------
+        ValueError
+            If the set is not a singleton.
+        """
+        if not self.is_singleton():
+            raise ValueError(f"not a singleton tag set: {self}")
+        return next(iter(self.tags))
+
+    def __contains__(self, tag: Tag) -> bool:
+        return self.universal or tag in self.tags
+
+    def __iter__(self) -> Iterator[Tag]:
+        if self.universal:
+            raise ValueError("cannot iterate the universal tag set")
+        return iter(self.tags)
+
+    def __len__(self) -> int:
+        if self.universal:
+            raise ValueError("the universal tag set has no finite size")
+        return len(self.tags)
+
+    def __bool__(self) -> bool:
+        return self.universal or bool(self.tags)
+
+    # -- algebra ----------------------------------------------------------
+    def union(self, other: "TagSet") -> "TagSet":
+        if self.universal or other.universal:
+            return _UNIVERSE
+        if not other.tags:
+            return self
+        if not self.tags:
+            return other
+        return TagSet(tags=self.tags | other.tags)
+
+    def intersect(self, other: "TagSet") -> "TagSet":
+        if self.universal:
+            return other
+        if other.universal:
+            return self
+        return TagSet(tags=self.tags & other.tags)
+
+    def without(self, tags: Iterable[Tag]) -> "TagSet":
+        """Finite-set difference; removing from the universe is a no-op
+        because the universe has no enumerable members to remove."""
+        if self.universal:
+            return self
+        return TagSet(tags=self.tags - frozenset(tags))
+
+    def overlaps(self, other: "TagSet") -> bool:
+        """May the two sets name a common location?"""
+        if self.universal:
+            return bool(other)
+        if other.universal:
+            return bool(self.tags)
+        return not self.tags.isdisjoint(other.tags)
+
+    def materialize(self, universe: Iterable[Tag]) -> "TagSet":
+        """Replace the universal set by an explicit enumeration."""
+        if not self.universal:
+            return self
+        return TagSet(tags=frozenset(universe))
+
+    # -- display ----------------------------------------------------------
+    def __str__(self) -> str:
+        if self.universal:
+            return "[*]"
+        names = sorted(t.name for t in self.tags)
+        return "[" + " ".join(names) + "]"
+
+
+_EMPTY = TagSet()
+_UNIVERSE = TagSet(universal=True)
+
+
+def scalar_tags(tags: Iterable[Tag]) -> frozenset[Tag]:
+    """The subset of ``tags`` that name promotable scalar locations."""
+    return frozenset(t for t in tags if t.is_scalar)

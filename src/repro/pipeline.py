@@ -1,0 +1,233 @@
+"""The compiler pipeline — the paper's experimental apparatus.
+
+Section 5: "Four versions of each program were prepared, using the
+combinations of scalar promotion, no scalar promotion, MOD/REF analysis,
+and pointer analysis.  Each version was optimized with value numbering,
+partial redundancy elimination, constant propagation, loop invariant code
+motion, dead code elimination, register allocation, and a basic block
+cleaning pass."
+
+:func:`compile_and_run` reproduces one cell of that matrix:
+
+1. front end (tagged IL with conservative tag sets);
+2. interprocedural analysis — ``modref`` or ``pointer`` (points-to
+   followed by a MOD/REF re-run, as in the paper) or ``none``;
+3. tag refinement (opcode strengthening for singleton scalar tag sets);
+4. the optimizer: value numbering, SCCP, **register promotion** (early,
+   as section 3 specifies), LICM, pointer-based promotion (section 3.3,
+   which depends on LICM having exposed invariant base registers), PRE,
+   value numbering again, DCE, clean;
+5. graph-coloring register allocation with coalescing and spilling;
+6. the instrumented interpreter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from .analysis.modref import ModRefResult, run_modref
+from .analysis.pointsto import apply_points_to, run_points_to
+from .analysis.tagrefine import refine_memory_ops
+from .errors import ReproError
+from .frontend import compile_c
+from .interp import Counters, MachineOptions, RunResult, run_module
+from .ir.module import Module
+from .ir.verify import verify_module
+from .opt.clean import clean_module
+from .opt.constprop import run_sccp_module
+from .opt.dce import run_dce_module
+from .opt.licm import run_licm_module
+from .opt.pointer_promotion import PointerPromotionReport, promote_pointers_module
+from .opt.pre import run_pre_module
+from .opt.promotion import PromotionOptions, PromotionReport, promote_module
+from .opt.valuenum import run_value_numbering_module
+from .regalloc import RegAllocOptions, RegAllocReport, allocate_module
+
+
+class Analysis(enum.Enum):
+    """Which interprocedural analysis disambiguates memory."""
+
+    NONE = "none"
+    MODREF = "modref"
+    POINTER = "pointer"
+
+
+@dataclass
+class PipelineOptions:
+    """One cell of the paper's experiment matrix, plus knobs for the
+    ablation benches."""
+
+    analysis: Analysis = Analysis.MODREF
+    promotion: bool = True
+    pointer_promotion: bool = False
+    promotion_options: PromotionOptions = field(default_factory=PromotionOptions)
+    regalloc: RegAllocOptions = field(default_factory=RegAllocOptions)
+    #: baseline optimizations (the paper applies these to *every* version)
+    value_numbering: bool = True
+    constant_propagation: bool = True
+    licm: bool = True
+    pre: bool = True
+    dce: bool = True
+    clean: bool = True
+    run_regalloc: bool = True
+    verify_each_stage: bool = False
+
+    def variant_name(self) -> str:
+        promo = "promo" if self.promotion else "nopromo"
+        return f"{self.analysis.value}/{promo}"
+
+
+@dataclass
+class CompileResult:
+    """The optimized module plus every pass report."""
+
+    module: Module
+    options: PipelineOptions
+    promotion_reports: dict[str, PromotionReport] = field(default_factory=dict)
+    pointer_promotion_reports: dict[str, PointerPromotionReport] = field(
+        default_factory=dict
+    )
+    regalloc_reports: dict[str, RegAllocReport] = field(default_factory=dict)
+    modref: ModRefResult | None = None
+
+
+def compile_module(module: Module, options: PipelineOptions | None = None) -> CompileResult:
+    """Run analysis + optimizer + allocator over an already-lowered module
+    (the module is transformed in place)."""
+    options = options or PipelineOptions()
+    result = CompileResult(module=module, options=options)
+
+    def checkpoint() -> None:
+        if options.verify_each_stage:
+            verify_module(module)
+
+    # -- interprocedural analysis -----------------------------------------
+    if options.analysis is Analysis.MODREF:
+        result.modref = run_modref(module)
+        refine_memory_ops(module, result.modref.sccs)
+    elif options.analysis is Analysis.POINTER:
+        # the paper's sequencing: MOD/REF to seed, points-to to sharpen
+        # pointer-op tag sets, MOD/REF repeated on the sharper sets
+        first = run_modref(module)
+        points = run_points_to(module)
+        apply_points_to(module, points, first.visible)
+        result.modref = run_modref(module)
+        refine_memory_ops(module, result.modref.sccs)
+    checkpoint()
+
+    # -- early scalar optimizations ------------------------------------------
+    if options.clean:
+        clean_module(module)
+    if options.value_numbering:
+        run_value_numbering_module(module)
+    if options.constant_propagation:
+        run_sccp_module(module)
+    checkpoint()
+
+    # -- register promotion (early, per section 3) ----------------------------
+    if options.promotion:
+        result.promotion_reports = promote_module(
+            module, options.promotion_options
+        )
+        checkpoint()
+
+    # -- loop and straight-line redundancy removal ---------------------------
+    if options.licm:
+        run_licm_module(module)
+        checkpoint()
+    if options.pointer_promotion:
+        result.pointer_promotion_reports = promote_pointers_module(module)
+        checkpoint()
+    if options.pre:
+        run_pre_module(module)
+    if options.value_numbering:
+        run_value_numbering_module(module)
+    if options.dce:
+        run_dce_module(module)
+    if options.clean:
+        clean_module(module)
+    checkpoint()
+
+    # -- register allocation ---------------------------------------------------
+    if options.run_regalloc:
+        result.regalloc_reports = allocate_module(module, options.regalloc)
+        if options.dce:
+            run_dce_module(module)
+        if options.clean:
+            clean_module(module)
+    verify_module(module)
+    return result
+
+
+def compile_source(
+    source: str,
+    options: PipelineOptions | None = None,
+    name: str = "program",
+    defines: dict[str, str] | None = None,
+) -> CompileResult:
+    """Front end + :func:`compile_module`."""
+    module = compile_c(source, name=name, defines=defines)
+    return compile_module(module, options)
+
+
+@dataclass
+class ExperimentCell:
+    """Result of running one pipeline variant on one program."""
+
+    variant: str
+    counters: Counters
+    exit_code: int
+    output: str
+    compile_result: CompileResult
+
+
+def compile_and_run(
+    source: str,
+    options: PipelineOptions | None = None,
+    name: str = "program",
+    defines: dict[str, str] | None = None,
+    machine_options: MachineOptions | None = None,
+) -> ExperimentCell:
+    options = options or PipelineOptions()
+    compiled = compile_source(source, options, name=name, defines=defines)
+    run: RunResult = run_module(compiled.module, options=machine_options)
+    return ExperimentCell(
+        variant=options.variant_name(),
+        counters=run.counters,
+        exit_code=run.exit_code,
+        output=run.output,
+        compile_result=compiled,
+    )
+
+
+def paper_variants(
+    pointer_promotion: bool = False,
+    regalloc: RegAllocOptions | None = None,
+) -> dict[str, PipelineOptions]:
+    """The four cells of the paper's Figures 5-7 matrix."""
+    base = PipelineOptions(
+        pointer_promotion=pointer_promotion,
+        regalloc=regalloc or RegAllocOptions(),
+    )
+    return {
+        "modref/nopromo": replace(base, analysis=Analysis.MODREF, promotion=False),
+        "modref/promo": replace(base, analysis=Analysis.MODREF, promotion=True),
+        "pointer/nopromo": replace(base, analysis=Analysis.POINTER, promotion=False),
+        "pointer/promo": replace(base, analysis=Analysis.POINTER, promotion=True),
+    }
+
+
+def check_outputs_agree(cells: dict[str, ExperimentCell]) -> None:
+    """Every variant of a program must produce identical output and exit
+    code — the optimizer's end-to-end correctness oracle."""
+    baseline: ExperimentCell | None = None
+    for cell in cells.values():
+        if baseline is None:
+            baseline = cell
+            continue
+        if cell.output != baseline.output or cell.exit_code != baseline.exit_code:
+            raise ReproError(
+                f"variant {cell.variant} diverged from {baseline.variant}: "
+                f"exit {cell.exit_code} vs {baseline.exit_code}"
+            )

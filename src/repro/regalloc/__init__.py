@@ -1,0 +1,18 @@
+"""Graph-coloring register allocation (Chaitin-Briggs with coalescing)."""
+
+from .coloring import (
+    RegAllocOptions,
+    RegAllocReport,
+    allocate_function,
+    allocate_module,
+)
+from .interference import InterferenceGraph, build_interference
+
+__all__ = [
+    "InterferenceGraph",
+    "RegAllocOptions",
+    "RegAllocReport",
+    "allocate_function",
+    "allocate_module",
+    "build_interference",
+]

@@ -1,0 +1,12 @@
+"""The 14-program benchmark suite (the paper's Figure 4), as miniatures
+written in the supported C subset."""
+
+from .base import Workload, all_workloads, get_workload, register, workload_names
+
+__all__ = [
+    "Workload",
+    "all_workloads",
+    "get_workload",
+    "register",
+    "workload_names",
+]

@@ -1,0 +1,90 @@
+"""allroots — polynomial root finder (paper: 215 lines, the smallest
+program in the suite).
+
+Paper behaviour: nothing at all — 11 stores executed in total in the
+paper's run, 0 removed.  The miniature is likewise all-local: polynomial
+evaluation and Newton/bisection refinement with every hot value in
+register-resident locals; promotion has no memory-resident scalar to
+work on inside the loops.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+#include <math.h>
+
+#define DEGREE 5
+
+double coeffs[DEGREE + 1];
+
+double eval_poly(double x) {
+    double acc;
+    int k;
+    acc = coeffs[DEGREE];
+    for (k = DEGREE - 1; k >= 0; k--) {
+        acc = acc * x + coeffs[k];
+    }
+    return acc;
+}
+
+double bisect(double lo, double hi) {
+    double mid;
+    double fmid;
+    double flo;
+    int iter;
+    flo = eval_poly(lo);
+    for (iter = 0; iter < 40; iter++) {
+        mid = (lo + hi) / 2.0;
+        fmid = eval_poly(mid);
+        if (fmid == 0.0) {
+            return mid;
+        }
+        if ((flo < 0.0 && fmid < 0.0) || (flo > 0.0 && fmid > 0.0)) {
+            lo = mid;
+            flo = fmid;
+        } else {
+            hi = mid;
+        }
+    }
+    return (lo + hi) / 2.0;
+}
+
+int main(void) {
+    double x;
+    double prev;
+    double fx;
+    double fprev;
+    double root;
+    int roots_found;
+    /* p(x) = (x-1)(x-2)(x-3)(x+1)(x+2) expanded */
+    coeffs[5] = 1.0;
+    coeffs[4] = -3.0;
+    coeffs[3] = -5.0;
+    coeffs[2] = 15.0;
+    coeffs[1] = 4.0;
+    coeffs[0] = -12.0;
+    roots_found = 0;
+    prev = -4.0;
+    fprev = eval_poly(prev);
+    for (x = -4.0 + 0.125; x <= 4.0; x += 0.125) {
+        fx = eval_poly(x);
+        if ((fprev < 0.0 && fx >= 0.0) || (fprev > 0.0 && fx <= 0.0)) {
+            root = bisect(prev, x);
+            roots_found = roots_found + 1;
+            printf("root %d near %f\n", roots_found, root);
+        }
+        prev = x;
+        fprev = fx;
+    }
+    printf("allroots found=%d\n", roots_found);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="allroots",
+    description="polynomial root finder",
+    source=SOURCE,
+    paper_behaviour="no effect: the program is all-local",
+))

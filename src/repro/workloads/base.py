@@ -1,0 +1,61 @@
+"""Workload registry.
+
+The paper evaluates on 14 C programs (Figure 4).  We cannot ship SPEC
+sources, so each workload here is a faithful *miniature*: a program in our
+C subset, 60-200 lines, engineered to exhibit the same memory-access
+structure the paper reports for its namesake — which globals live in hot
+loops, whether address-taken scalars alias pointer stores, whether
+promotion finds anything at all (see DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    description: str
+    source: str
+    #: what the paper reports for this program, as a hint to readers
+    paper_behaviour: str = ""
+    defines: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def line_count(self) -> int:
+        return len(self.source.strip().splitlines())
+
+
+_REGISTRY: dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_loaded()
+    return _REGISTRY[name]
+
+
+def all_workloads() -> list[Workload]:
+    _ensure_loaded()
+    return list(_REGISTRY.values())
+
+
+def workload_names() -> list[str]:
+    _ensure_loaded()
+    return list(_REGISTRY)
+
+
+def _ensure_loaded() -> None:
+    if _REGISTRY:
+        return
+    # importing the program modules populates the registry
+    from . import programs  # noqa: F401

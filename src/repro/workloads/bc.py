@@ -1,0 +1,126 @@
+"""bc — the GNU calculator language (paper: 7,583 lines).
+
+Paper behaviour: a strong win that *grows with pointer analysis*: 8.83%
+of stores removed under MOD/REF but 27.52% under points-to (the biggest
+precision gap in Figure 6).  The miniature interprets a small bytecode
+program for a stack calculator.  The VM registers (``sp``, ``acc``,
+``steps``) are plain globals (promotable under either analysis), while
+the scale/base registers have their addresses taken for a register-file
+pointer — under MOD/REF every store through that pointer aliases them,
+and only points-to analysis (seeing it reach just the heap scratchpad)
+lets them promote in the dispatch loop.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+#include <stdlib.h>
+
+#define STACK_DEPTH 64
+#define PROG_LEN 24
+#define RUNS 400
+
+int stack[STACK_DEPTH];
+int program[PROG_LEN];
+
+int sp;
+int acc;
+int steps;
+
+int scale_reg;     /* address taken: ambiguous under MOD/REF */
+int ibase_reg;     /* address taken: ambiguous under MOD/REF */
+int *scratch;      /* points only at the heap under points-to */
+
+void load_program(void) {
+    /* push 7; push 5; add; push 3; mul; dup; sub-1; mod; done-ish loop */
+    program[0] = 1; program[1] = 7;
+    program[2] = 1; program[3] = 5;
+    program[4] = 2;
+    program[5] = 1; program[6] = 3;
+    program[7] = 3;
+    program[8] = 5;
+    program[9] = 1; program[10] = 1;
+    program[11] = 4;
+    program[12] = 6;
+    program[13] = 1; program[14] = 9;
+    program[15] = 2;
+    program[16] = 7;
+    program[17] = 1; program[18] = 2;
+    program[19] = 3;
+    program[20] = 8;
+    program[21] = 0; program[22] = 0; program[23] = 0;
+}
+
+void publish(int *cell) {
+    /* gives the analyses a real address escape to reason about */
+    *cell = *cell + 1;
+}
+
+int run_program(void) {
+    int pc;
+    int op;
+    int a;
+    int b;
+    pc = 0;
+    while (pc < PROG_LEN) {
+        op = program[pc];
+        steps = steps + 1;
+        scale_reg = scale_reg + (op == 8);
+        ibase_reg = ibase_reg ^ op;
+        scratch[op % 8] = pc;
+        if (op == 0) {
+            pc = PROG_LEN;
+        } else if (op == 1) {
+            stack[sp] = program[pc + 1];
+            sp = sp + 1;
+            pc = pc + 2;
+        } else if (op == 2) {
+            b = stack[sp - 1]; a = stack[sp - 2];
+            stack[sp - 2] = a + b; sp = sp - 1; pc = pc + 1;
+        } else if (op == 3) {
+            b = stack[sp - 1]; a = stack[sp - 2];
+            stack[sp - 2] = a * b; sp = sp - 1; pc = pc + 1;
+        } else if (op == 4) {
+            b = stack[sp - 1]; a = stack[sp - 2];
+            stack[sp - 2] = a - b; sp = sp - 1; pc = pc + 1;
+        } else if (op == 5) {
+            stack[sp] = stack[sp - 1]; sp = sp + 1; pc = pc + 1;
+        } else if (op == 6) {
+            b = stack[sp - 1]; a = stack[sp - 2];
+            if (b == 0) { b = 1; }
+            stack[sp - 2] = a % b; sp = sp - 1; pc = pc + 1;
+        } else if (op == 7) {
+            acc = acc + stack[sp - 1]; pc = pc + 1;
+        } else {
+            acc = acc ^ stack[sp - 1]; sp = sp - 1; pc = pc + 1;
+        }
+    }
+    return acc;
+}
+
+int main(void) {
+    int run;
+    int result;
+    scratch = (int *) malloc(8 * 4);
+    load_program();
+    result = 0;
+    for (run = 0; run < RUNS; run++) {
+        sp = 0;
+        result = run_program();
+    }
+    publish(&scale_reg);
+    publish(&ibase_reg);
+    printf("bc result=%d steps=%d scale=%d ibase=%d\n",
+           result, steps, scale_reg, ibase_reg);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="bc",
+    description="calculator language bytecode interpreter",
+    source=SOURCE,
+    paper_behaviour="8.83% of stores removed with MOD/REF, 27.52% with "
+                    "points-to (the largest precision gap)",
+))

@@ -1,0 +1,95 @@
+"""clean — graphics/scan-conversion style pass over raster rows.
+
+Paper behaviour: a modest, analysis-insensitive win — 3.28% of stores
+removed under both MOD/REF and points-to.  The miniature keeps a couple
+of global counters hot in pixel loops (promotable under any analysis)
+while the bulk of the traffic is raster-array loads and stores that
+promotion cannot touch.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+
+#define WIDTH 64
+#define HEIGHT 48
+
+int raster[HEIGHT][WIDTH];
+int out[HEIGHT][WIDTH];
+
+int pixels_written;
+int spans_merged;
+int threshold;
+
+void synthesize(int seed) {
+    int x;
+    int y;
+    int v;
+    v = seed;
+    for (y = 0; y < HEIGHT; y++) {
+        for (x = 0; x < WIDTH; x++) {
+            v = (v * 1103515 + 12345) % 100003;
+            raster[y][x] = v % 256;
+        }
+    }
+}
+
+void smooth_rows(void) {
+    int x;
+    int y;
+    int acc;
+    for (y = 0; y < HEIGHT; y++) {
+        for (x = 1; x + 1 < WIDTH; x++) {
+            acc = raster[y][x - 1] + raster[y][x] + raster[y][x + 1];
+            out[y][x] = acc / 3;
+            pixels_written = pixels_written + 1;
+        }
+        out[y][0] = raster[y][0];
+        out[y][WIDTH - 1] = raster[y][WIDTH - 1];
+        pixels_written = pixels_written + 2;
+    }
+}
+
+void merge_spans(void) {
+    int x;
+    int y;
+    int run;
+    for (y = 0; y < HEIGHT; y++) {
+        run = 0;
+        for (x = 0; x < WIDTH; x++) {
+            if (out[y][x] > threshold) {
+                run = run + 1;
+            } else {
+                if (run > 2) {
+                    spans_merged = spans_merged + 1;
+                }
+                run = 0;
+            }
+        }
+        if (run > 2) {
+            spans_merged = spans_merged + 1;
+        }
+    }
+}
+
+int main(void) {
+    int frame;
+    threshold = 128;
+    for (frame = 0; frame < 12; frame++) {
+        synthesize(frame + 3);
+        smooth_rows();
+        merge_spans();
+    }
+    printf("clean pixels=%d spans=%d sample=%d\n",
+           pixels_written, spans_merged, out[7][9]);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="clean",
+    description="graphics scan pass over raster rows",
+    source=SOURCE,
+    paper_behaviour="~3.3% of stores removed, identical under both analyses",
+))

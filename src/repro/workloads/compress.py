@@ -1,0 +1,113 @@
+"""compress — file compression (the SPEC 129.compress ancestor).
+
+Paper behaviour: a clear promotion win concentrated in the hash/ratio
+bookkeeping globals of the compression loop, insensitive to analysis
+precision.  The miniature implements a small LZW-flavored compressor over
+a synthetic buffer with the classic compress-style globals (``in_count``,
+``out_count``, ``free_ent``, ``checkpoint``) hot in the main loop.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+
+#define HSIZE 1024
+#define INPUT_LEN 6000
+#define MAXCODE 512
+
+int htab[HSIZE];
+int codetab[HSIZE];
+unsigned char input[INPUT_LEN];
+
+int in_count;
+int out_count;
+int free_ent;
+int checkpoint;
+int clear_count;
+
+void make_input(void) {
+    int i;
+    int v;
+    v = 99;
+    for (i = 0; i < INPUT_LEN; i++) {
+        v = (v * 2147001325 + 715136305) % 65536;
+        if (v < 0) {
+            v = -v;
+        }
+        input[i] = (v >> 3) % 17 + 'a';
+    }
+}
+
+void clear_tables(void) {
+    int i;
+    for (i = 0; i < HSIZE; i++) {
+        htab[i] = -1;
+        codetab[i] = 0;
+    }
+    free_ent = 257;
+    clear_count = clear_count + 1;
+}
+
+void compress_buffer(void) {
+    int i;
+    int ent;
+    int c;
+    int fcode;
+    int h;
+    int probes;
+    ent = input[0];
+    in_count = 1;
+    for (i = 1; i < INPUT_LEN; i++) {
+        c = input[i];
+        in_count = in_count + 1;
+        fcode = (c << 9) + ent;
+        h = (c << 3 ^ ent) % HSIZE;
+        if (h < 0) {
+            h = -h;
+        }
+        probes = 0;
+        while (htab[h] != fcode && htab[h] != -1 && probes < 8) {
+            h = (h + 1) % HSIZE;
+            probes = probes + 1;
+        }
+        if (htab[h] == fcode) {
+            ent = codetab[h];
+        } else {
+            out_count = out_count + 1;
+            if (free_ent < MAXCODE) {
+                htab[h] = fcode;
+                codetab[h] = free_ent;
+                free_ent = free_ent + 1;
+            } else {
+                if (in_count > checkpoint) {
+                    checkpoint = in_count + 1000;
+                    clear_tables();
+                }
+            }
+            ent = c;
+        }
+    }
+    out_count = out_count + 1;
+}
+
+int main(void) {
+    int pass;
+    make_input();
+    checkpoint = 1000;
+    for (pass = 0; pass < 3; pass++) {
+        clear_tables();
+        compress_buffer();
+    }
+    printf("compress in=%d out=%d free=%d clears=%d\n",
+           in_count, out_count, free_ent, clear_count);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="compress",
+    description="LZW-style file compression kernel",
+    source=SOURCE,
+    paper_behaviour="solid store removal in the hash bookkeeping globals",
+))

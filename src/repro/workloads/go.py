@@ -1,0 +1,149 @@
+"""go — the SPEC 099.go game program (paper: 28k+ lines).
+
+Paper behaviour: the biggest *load* removal in the suite (~15.6% with
+MOD/REF, 16.2% with points-to) with a large absolute operation count:
+board-evaluation loops re-read global game state (ko position, move
+number, color to play, territory counters) on every probe, and promotion
+keeps those in registers across whole scans.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+
+#define SIZE 9
+#define MOVES 120
+
+int board[SIZE][SIZE];
+int move_number;
+int to_play;
+int ko_x;
+int ko_y;
+int black_caps;
+int white_caps;
+int territory;
+int influence;
+
+void reset_game(void) {
+    int x;
+    int y;
+    for (y = 0; y < SIZE; y++) {
+        for (x = 0; x < SIZE; x++) {
+            board[y][x] = 0;
+        }
+    }
+    move_number = 0;
+    to_play = 1;
+    ko_x = -1;
+    ko_y = -1;
+}
+
+int count_liberties(int x, int y) {
+    int libs;
+    libs = 0;
+    if (x > 0 && board[y][x - 1] == 0) { libs = libs + 1; }
+    if (x + 1 < SIZE && board[y][x + 1] == 0) { libs = libs + 1; }
+    if (y > 0 && board[y - 1][x] == 0) { libs = libs + 1; }
+    if (y + 1 < SIZE && board[y + 1][x] == 0) { libs = libs + 1; }
+    return libs;
+}
+
+int evaluate(void) {
+    int x;
+    int y;
+    int score;
+    score = 0;
+    /* promotion keeps territory/influence/ko state in registers for the
+       whole double scan: every probe below otherwise reloads them */
+    for (y = 0; y < SIZE; y++) {
+        for (x = 0; x < SIZE; x++) {
+            if (board[y][x] == to_play) {
+                score = score + 2;
+                influence = influence + count_liberties(x, y);
+            } else if (board[y][x] != 0) {
+                score = score - 2;
+            } else {
+                territory = territory + 1;
+                if (x == ko_x && y == ko_y) {
+                    score = score - 5;
+                }
+            }
+        }
+    }
+    return score + black_caps - white_caps;
+}
+
+int pick_move(int seed) {
+    int x;
+    int y;
+    int best_x;
+    int best_y;
+    int best_val;
+    int val;
+    best_x = -1;
+    best_y = -1;
+    best_val = -1000000;
+    for (y = 0; y < SIZE; y++) {
+        for (x = 0; x < SIZE; x++) {
+            if (board[y][x] == 0) {
+                val = count_liberties(x, y) * 4
+                    + (x * 7 + y * 13 + seed) % 11
+                    - (x == ko_x && y == ko_y) * 100;
+                if (val > best_val) {
+                    best_val = val;
+                    best_x = x;
+                    best_y = y;
+                }
+            }
+        }
+    }
+    return best_x * SIZE + best_y;
+}
+
+void play(int pos) {
+    int x;
+    int y;
+    x = pos / SIZE;
+    y = pos % SIZE;
+    if (x < 0) {
+        return;
+    }
+    board[y][x] = to_play;
+    if (count_liberties(x, y) == 0) {
+        board[y][x] = 0;
+        if (to_play == 1) {
+            white_caps = white_caps + 1;
+        } else {
+            black_caps = black_caps + 1;
+        }
+        ko_x = x;
+        ko_y = y;
+    }
+    to_play = 3 - to_play;
+    move_number = move_number + 1;
+}
+
+int main(void) {
+    int move;
+    int eval_sum;
+    reset_game();
+    eval_sum = 0;
+    for (move = 0; move < MOVES; move++) {
+        play(pick_move(move * 37 + 5));
+        eval_sum = eval_sum + evaluate();
+    }
+    printf("go eval=%d moves=%d terr=%d infl=%d caps=%d/%d\n",
+           eval_sum, move_number, territory, influence,
+           black_caps, white_caps);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="go",
+    description="game-playing program with board evaluation scans",
+    source=SOURCE,
+    paper_behaviour="largest load removal (~15.6%/16.2%): global game "
+                    "state stays in registers across board scans",
+))

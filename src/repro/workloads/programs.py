@@ -1,0 +1,17 @@
+"""Importing this module registers all 14 workloads (Figure 4)."""
+
+from . import (  # noqa: F401
+    allroots,
+    bc,
+    bison,
+    clean_prog,
+    compress,
+    dhrystone,
+    fft,
+    go,
+    gzip,
+    indent,
+    mlink,
+    tsp,
+    water,
+)

@@ -1,0 +1,138 @@
+"""tsp — a traveling salesman problem (paper: 760 lines).
+
+Paper behaviour: register promotion finds *nothing* — 0.00% of stores and
+loads removed under both analyses.  The miniature reproduces why: all hot
+state lives in local scalars (register-resident from the start) and local
+arrays (not scalars, never promotable); no global scalar is referenced
+inside a loop.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+
+#define N 40
+
+int dist_table[N][N];
+
+void build_distances(int seed) {
+    int i;
+    int j;
+    int v;
+    v = seed;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < N; j++) {
+            v = (v * 1103 + 12345) % 10007;
+            if (i == j) {
+                dist_table[i][j] = 0;
+            } else {
+                dist_table[i][j] = 1 + (v % 97);
+            }
+        }
+    }
+}
+
+int tour_length(int tour[], int n) {
+    int total;
+    int k;
+    total = 0;
+    for (k = 0; k + 1 < n; k++) {
+        total = total + dist_table[tour[k]][tour[k + 1]];
+    }
+    total = total + dist_table[tour[n - 1]][tour[0]];
+    return total;
+}
+
+int nearest_neighbor(int tour[], int start) {
+    int used[N];
+    int i;
+    int step;
+    int current;
+    int best;
+    int best_d;
+    int d;
+    for (i = 0; i < N; i++) {
+        used[i] = 0;
+    }
+    tour[0] = start;
+    used[start] = 1;
+    current = start;
+    for (step = 1; step < N; step++) {
+        best = -1;
+        best_d = 1000000;
+        for (i = 0; i < N; i++) {
+            if (!used[i]) {
+                d = dist_table[current][i];
+                if (d < best_d) {
+                    best_d = d;
+                    best = i;
+                }
+            }
+        }
+        tour[step] = best;
+        used[best] = 1;
+        current = best;
+    }
+    return tour_length(tour, N);
+}
+
+int improve_two_opt(int tour[]) {
+    int improved;
+    int i;
+    int j;
+    int delta;
+    int tmp;
+    int rounds;
+    rounds = 0;
+    improved = 1;
+    while (improved && rounds < 6) {
+        improved = 0;
+        rounds = rounds + 1;
+        for (i = 1; i + 1 < N; i++) {
+            for (j = i + 1; j < N; j++) {
+                delta = dist_table[tour[i - 1]][tour[j]]
+                      + dist_table[tour[i]][tour[(j + 1) % N]]
+                      - dist_table[tour[i - 1]][tour[i]]
+                      - dist_table[tour[j]][tour[(j + 1) % N]];
+                if (delta < 0) {
+                    tmp = tour[i];
+                    tour[i] = tour[j];
+                    tour[j] = tmp;
+                    improved = 1;
+                }
+            }
+        }
+    }
+    return tour_length(tour, N);
+}
+
+int main(void) {
+    int tour[N];
+    int start;
+    int before;
+    int after;
+    int best_after;
+    best_after = 1000000;
+    build_distances(7);
+    for (start = 0; start < 8; start++) {
+        before = nearest_neighbor(tour, start);
+        after = improve_two_opt(tour);
+        if (after < best_after) {
+            best_after = after;
+        }
+        if (after > before) {
+            printf("regression at %d\n", start);
+        }
+    }
+    printf("tsp best=%d\n", best_after);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="tsp",
+    description="a traveling salesman problem",
+    source=SOURCE,
+    paper_behaviour="no opportunities: 0.00% stores/loads removed",
+))

@@ -1,0 +1,118 @@
+"""water — molecular-dynamics simulation (SPLASH's WATER ancestor).
+
+Paper behaviour: the cautionary tale.  Promotion removes almost nothing
+net (2 stores under MOD/REF, 67 loads under points-to — ~0.00%): "register
+promotion was able to promote twenty-eight values for one loop nest.
+Unfortunately, this caused the register allocator to spill values which
+resulted in a performance loss compared to no register promotion."
+
+The miniature accumulates 28 global virial/energy components inside a
+pair-interaction loop whose body already keeps a dozen distance/force
+temporaries live; on a 32-register machine the 28 promoted homes cannot
+all be colored and the allocator's spill code hands most of the promoted
+traffic right back.
+"""
+
+from .base import Workload, register
+
+SOURCE = r"""
+#include <stdio.h>
+
+#define MOLS 34
+#define STEPS 18
+
+double pos_x[MOLS];
+double pos_y[MOLS];
+double pos_z[MOLS];
+double vel_x[MOLS];
+double vel_y[MOLS];
+double vel_z[MOLS];
+
+double vxx; double vxy; double vxz;
+double vyx; double vyy; double vyz;
+double vzx; double vzy; double vzz;
+double exx; double exy; double exz;
+double eyx; double eyy; double eyz;
+double ezx; double ezy; double ezz;
+double fxx; double fxy; double fxz;
+double fyx; double fyy; double fyz;
+double fzx; double fzy; double fzz;
+double pot_sum;
+
+void init_molecules(void) {
+    int i;
+    for (i = 0; i < MOLS; i++) {
+        pos_x[i] = (double) (i % 9) / 3.0;
+        pos_y[i] = (double) (i % 7) / 4.0;
+        pos_z[i] = (double) (i % 5) / 5.0;
+        vel_x[i] = (double) (i % 3) / 8.0;
+        vel_y[i] = (double) (i % 4) / 8.0;
+        vel_z[i] = (double) (i % 6) / 8.0;
+    }
+}
+
+void accumulate_virials(void) {
+    int i;
+    int j;
+    int step;
+    double dx;
+    double dy;
+    double dz;
+    double r2;
+    double inv;
+    double f;
+    double gx;
+    double gy;
+    double gz;
+    double wx;
+    double wy;
+    double wz;
+    double kin;
+    for (step = 0; step < STEPS; step++) {
+        for (i = 0; i + 1 < MOLS; i++) {
+            j = i + 1;
+            dx = pos_x[i] - pos_x[j];
+            dy = pos_y[i] - pos_y[j];
+            dz = pos_z[i] - pos_z[j];
+            r2 = dx * dx + dy * dy + dz * dz + 0.25;
+            inv = 1.0 / r2;
+            f = inv * inv - 0.5 * inv;
+            gx = f * dx;
+            gy = f * dy;
+            gz = f * dz;
+            wx = vel_x[i] + gx;
+            wy = vel_y[i] + gy;
+            wz = vel_z[i] + gz;
+            kin = wx * wx + wy * wy + wz * wz;
+            vxx = vxx + gx * dx; vxy = vxy + gx * dy; vxz = vxz + gx * dz;
+            vyx = vyx + gy * dx; vyy = vyy + gy * dy; vyz = vyz + gy * dz;
+            vzx = vzx + gz * dx; vzy = vzy + gz * dy; vzz = vzz + gz * dz;
+            exx = exx + wx * dx; exy = exy + wx * dy; exz = exz + wx * dz;
+            eyx = eyx + wy * dx; eyy = eyy + wy * dy; eyz = eyz + wy * dz;
+            ezx = ezx + wz * dx; ezy = ezy + wz * dy; ezz = ezz + wz * dz;
+            fxx = fxx + kin * dx; fxy = fxy + kin * dy; fxz = fxz + kin * dz;
+            fyx = fyx + gx * gy; fyy = fyy + gy * gz; fyz = fyz + gz * gx;
+            fzx = fzx + wx * gy; fzy = fzy + wy * gz; fzz = fzz + wz * gx;
+            pot_sum = pot_sum + f + kin;
+        }
+    }
+}
+
+int main(void) {
+    double trace;
+    init_molecules();
+    accumulate_virials();
+    trace = vxx + vyy + vzz + exx + eyy + ezz + fxx + fyy + fzz;
+    printf("water trace=%f pot=%f vxy=%f fzx=%f\n",
+           trace, pot_sum, vxy, fzx);
+    return 0;
+}
+"""
+
+register(Workload(
+    name="water",
+    description="molecular dynamics accumulating 28 virial components",
+    source=SOURCE,
+    paper_behaviour="28 values promoted in one loop nest; register "
+                    "pressure makes the allocator spill, netting ~0",
+))

@@ -1,0 +1,87 @@
+"""Tests for call-graph construction and SCC condensation."""
+
+from repro.analysis.callgraph import build_call_graph, condense_sccs
+from repro.frontend import compile_c
+
+
+MUTUAL = r"""
+int is_odd(int n);
+
+int is_even(int n) {
+    if (n == 0) { return 1; }
+    return is_odd(n - 1);
+}
+
+int is_odd(int n) {
+    if (n == 0) { return 0; }
+    return is_even(n - 1);
+}
+
+int leaf(int x) { return x * 2; }
+
+int main(void) {
+    return is_even(10) + leaf(3);
+}
+"""
+
+
+class TestCallGraph:
+    def test_edges(self):
+        module = compile_c(MUTUAL)
+        graph = build_call_graph(module)
+        assert graph.callees["main"] == {"is_even", "leaf"}
+        assert graph.callees["is_even"] == {"is_odd"}
+        assert graph.callees["is_odd"] == {"is_even"}
+        assert graph.callees["leaf"] == set()
+        assert graph.callers["leaf"] == {"main"}
+
+    def test_external_callees(self):
+        src = r"""
+        int main(void) { printf("x\n"); return 0; }
+        """
+        module = compile_c(src)
+        graph = build_call_graph(module)
+        assert "printf" in graph.external_callees["main"]
+        assert graph.callees["main"] == set()
+
+
+class TestSCC:
+    def test_mutual_recursion_one_component(self):
+        module = compile_c(MUTUAL)
+        graph = build_call_graph(module)
+        sccs = condense_sccs(graph)
+        even = sccs.component_of["is_even"]
+        odd = sccs.component_of["is_odd"]
+        assert even == odd
+        assert sccs.is_recursive("is_even")
+        assert sccs.is_recursive("is_odd")
+        assert not sccs.is_recursive("leaf")
+        assert not sccs.is_recursive("main")
+
+    def test_reverse_topological_order(self):
+        module = compile_c(MUTUAL)
+        graph = build_call_graph(module)
+        sccs = condense_sccs(graph)
+        # callees appear in earlier components than their callers
+        position = {name: idx for idx, comp in enumerate(sccs.components)
+                    for name in comp}
+        for caller, callees in graph.callees.items():
+            for callee in callees:
+                if position[callee] != position[caller]:
+                    assert position[callee] < position[caller]
+
+    def test_self_recursion(self):
+        src = r"""
+        int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+        int main(void) { return fact(5); }
+        """
+        module = compile_c(src)
+        sccs = condense_sccs(build_call_graph(module))
+        assert sccs.is_recursive("fact")
+        assert not sccs.is_recursive("main")
+
+    def test_component_count(self):
+        module = compile_c(MUTUAL)
+        sccs = condense_sccs(build_call_graph(module))
+        # {is_even,is_odd}, {leaf}, {main}
+        assert len(sccs.components) == 3

@@ -1,0 +1,189 @@
+"""Tests for the points-to analysis and its application to tag sets."""
+
+from repro.analysis.modref import run_modref
+from repro.analysis.pointsto import apply_points_to, run_points_to
+from repro.frontend import compile_c
+from repro.ir import Call, MemLoad, MemStore
+
+
+def find_tag(module, name):
+    for tag in module.memory_tags():
+        if tag.name == name:
+            return tag
+    raise AssertionError(f"no tag {name}")
+
+
+def pointer_ops(func):
+    return [i for i in func.instructions() if isinstance(i, (MemLoad, MemStore))]
+
+
+class TestBasicFlow:
+    def test_address_of_global(self):
+        src = r"""
+        int x;
+        int *p;
+        int main(void) { p = &x; return *p; }
+        """
+        module = compile_c(src)
+        result = run_points_to(module)
+        x = find_tag(module, "x")
+        main = module.functions["main"]
+        loads = [i for i in main.instructions() if isinstance(i, MemLoad)]
+        assert loads
+        pts = result.of_reg("main", loads[0].addr)
+        assert pts == frozenset({x})
+
+    def test_flow_through_assignment_chain(self):
+        src = r"""
+        int a;
+        int b;
+        int main(void) {
+            int *p;
+            int *q;
+            p = &a;
+            q = p;
+            *q = 4;
+            q = &b;
+            *q = 5;
+            return a + b;
+        }
+        """
+        module = compile_c(src)
+        result = run_points_to(module)
+        a = find_tag(module, "a")
+        b = find_tag(module, "b")
+        main = module.functions["main"]
+        stores = [i for i in main.instructions() if isinstance(i, MemStore)]
+        # flow-insensitive: q may point at either a or b at both stores
+        for store in stores:
+            pts = result.of_reg("main", store.addr)
+            assert pts <= {a, b}
+            assert pts  # never empty here
+
+    def test_heap_named_by_call_site(self):
+        src = r"""
+        int main(void) {
+            int *p;
+            int *q;
+            p = (int *) malloc(8);
+            q = (int *) malloc(8);
+            *p = 1;
+            *q = 2;
+            return *p + *q;
+        }
+        """
+        module = compile_c(src)
+        result = run_points_to(module)
+        main = module.functions["main"]
+        stores = [i for i in main.instructions() if isinstance(i, MemStore)]
+        pts_sets = [result.of_reg("main", s.addr) for s in stores]
+        assert all(len(p) == 1 for p in pts_sets)
+        # two different call sites -> two different heap names
+        assert pts_sets[0] != pts_sets[1]
+        assert all(next(iter(p)).kind.value == "heap" for p in pts_sets)
+
+    def test_interprocedural_parameter_binding(self):
+        src = r"""
+        int g;
+        void set(int *p) { *p = 9; }
+        int main(void) { set(&g); return g; }
+        """
+        module = compile_c(src)
+        result = run_points_to(module)
+        g = find_tag(module, "g")
+        set_fn = module.functions["set"]
+        stores = [i for i in set_fn.instructions() if isinstance(i, MemStore)]
+        assert result.of_reg("set", stores[0].addr) == frozenset({g})
+
+    def test_contents_tracking_through_memory(self):
+        src = r"""
+        int x;
+        int *cell;
+        int **pp;
+        int main(void) {
+            cell = &x;
+            pp = &cell;
+            **pp = 3;
+            return x;
+        }
+        """
+        module = compile_c(src)
+        result = run_points_to(module)
+        x = find_tag(module, "x")
+        cell = find_tag(module, "cell")
+        assert result.contents.get(cell) == frozenset({x})
+
+    def test_pointer_arithmetic_flows(self):
+        src = r"""
+        int arr[10];
+        int main(void) {
+            int *p;
+            p = arr + 3;
+            return *p;
+        }
+        """
+        module = compile_c(src)
+        result = run_points_to(module)
+        arr = find_tag(module, "arr")
+        main = module.functions["main"]
+        loads = [i for i in main.instructions() if isinstance(i, MemLoad)]
+        assert arr in result.of_reg("main", loads[0].addr)
+
+
+class TestApplication:
+    def test_sharper_than_modref(self):
+        """The paper's mlink scenario: points-to proves stores through a
+        heap pointer cannot modify an address-taken global."""
+        src = r"""
+        double Tl;
+        double *X2;
+        void setup(void) {
+            double *p;
+            p = &Tl;
+            *p = 0.5;
+            X2 = (double *) malloc(80);
+        }
+        int main(void) {
+            int i;
+            setup();
+            for (i = 0; i < 10; i++) {
+                X2[i] = Tl * 2.0;
+            }
+            return 0;
+        }
+        """
+        module = compile_c(src)
+        first = run_modref(module)
+        tl = find_tag(module, "Tl")
+        main = module.functions["main"]
+        stores_before = [
+            i for i in main.instructions() if isinstance(i, MemStore)
+        ]
+        # MOD/REF alone: the X2 store may touch the address-taken Tl
+        assert any(tl in s.tags for s in stores_before)
+
+        points = run_points_to(module)
+        apply_points_to(module, points, first.visible)
+        stores_after = [
+            i for i in main.instructions() if isinstance(i, MemStore)
+        ]
+        assert all(tl not in s.tags for s in stores_after)
+
+    def test_empty_points_to_falls_back(self):
+        # a pointer conjured from an integer has no points-to set; the op
+        # must keep a conservative tag set rather than an empty one
+        src = r"""
+        int g;
+        int main(void) {
+            int *p;
+            p = &g;
+            return *p;
+        }
+        """
+        module = compile_c(src)
+        first = run_modref(module)
+        points = run_points_to(module)
+        apply_points_to(module, points, first.visible)
+        main = module.functions["main"]
+        for op in pointer_ops(main):
+            assert not op.tags.is_empty()

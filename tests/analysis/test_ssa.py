@@ -1,0 +1,130 @@
+"""Tests for SSA construction and destruction."""
+
+from repro.analysis.ssa import construct_ssa, destruct_ssa
+from repro.frontend import compile_c
+from repro.interp import run_module
+from repro.ir import Function, IRBuilder, Mov, Phi, verify_function
+
+
+def loop_counter_function() -> Function:
+    """i = 0; while (i < 10) i = i + 1; return i  — in raw IL."""
+    func = Function("count")
+    b = IRBuilder(func)
+    entry = b.start_block("entry")
+    i = b.loadi(0, hint="i")
+    header = func.new_block(label="H")
+    body = func.new_block(label="B")
+    exit_ = func.new_block(label="X")
+    b.jmp(header)
+
+    b.set_block(header)
+    ten = b.loadi(10)
+    from repro.ir import BinOp, Opcode
+
+    cond = func.new_vreg()
+    header.append(BinOp(Opcode.CMP_LT, cond, i, ten))
+    b.cbr(cond, body, exit_)
+
+    b.set_block(body)
+    one = b.loadi(1)
+    tmp = b.add(i, one)
+    b.mov(tmp, dst=i)
+    b.jmp(header)
+
+    b.set_block(exit_)
+    b.ret(i)
+    return func
+
+
+class TestConstructSSA:
+    def test_single_assignment_holds(self):
+        func = loop_counter_function()
+        construct_ssa(func)
+        verify_function(func, ssa=True)
+
+    def test_phi_placed_at_loop_header(self):
+        func = loop_counter_function()
+        construct_ssa(func)
+        header_phis = func.block("H").phis()
+        assert len(header_phis) >= 1
+
+    def test_straightline_needs_no_phis(self):
+        func = Function("s")
+        b = IRBuilder(func)
+        b.start_block()
+        x = b.loadi(1)
+        y = b.add(x, x)
+        b.ret(y)
+        construct_ssa(func)
+        assert not any(isinstance(i, Phi) for i in func.instructions())
+        verify_function(func, ssa=True)
+
+    def test_origin_tracks_versions(self):
+        func = loop_counter_function()
+        info = construct_ssa(func)
+        # every new name maps back to some original register
+        for block in func.blocks.values():
+            for phi in block.phis():
+                assert info.origin_of(phi.dst) is not None
+
+
+class TestDestructSSA:
+    def test_round_trip_preserves_semantics(self):
+        src = r"""
+        int main(void) {
+            int i;
+            int total;
+            total = 0;
+            for (i = 0; i < 10; i++) {
+                if (i % 2 == 0) {
+                    total += i;
+                } else {
+                    total += 2 * i;
+                }
+            }
+            printf("%d\n", total);
+            return total;
+        }
+        """
+        module = compile_c(src)
+        expected = run_module(module)
+
+        module2 = compile_c(src)
+        for func in module2.functions.values():
+            construct_ssa(func)
+            verify_function(func, ssa=True)
+            destruct_ssa(func)
+            verify_function(func)
+            assert not any(isinstance(i, Phi) for i in func.instructions())
+        actual = run_module(module2)
+        assert actual.output == expected.output
+        assert actual.exit_code == expected.exit_code
+
+    def test_swap_problem_handled(self):
+        # a, b = b, a in a loop: phi cycle requiring parallel-copy temps
+        src = r"""
+        int main(void) {
+            int a;
+            int b;
+            int t;
+            int i;
+            a = 1;
+            b = 2;
+            for (i = 0; i < 5; i++) {
+                t = a;
+                a = b;
+                b = t;
+            }
+            printf("%d %d\n", a, b);
+            return 0;
+        }
+        """
+        module = compile_c(src)
+        expected = run_module(module)
+        module2 = compile_c(src)
+        for func in module2.functions.values():
+            construct_ssa(func)
+            destruct_ssa(func)
+            verify_function(func)
+        actual = run_module(module2)
+        assert actual.output == expected.output == "2 1\n"

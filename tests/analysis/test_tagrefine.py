@@ -1,0 +1,140 @@
+"""Tests for tag refinement (opcode strengthening)."""
+
+from repro.analysis.callgraph import build_call_graph, condense_sccs
+from repro.analysis.modref import run_modref
+from repro.analysis.pointsto import apply_points_to, run_points_to
+from repro.analysis.tagrefine import refine_memory_ops
+from repro.frontend import compile_c
+from repro.interp import run_module
+from repro.ir import MemLoad, MemStore, ScalarLoad, ScalarStore
+
+
+def analyzed(src):
+    module = compile_c(src)
+    first = run_modref(module)
+    points = run_points_to(module)
+    apply_points_to(module, points, first.visible)
+    result = run_modref(module)
+    return module, result
+
+
+class TestStrengthening:
+    def test_singleton_global_scalar_becomes_scalar_op(self):
+        src = r"""
+        int g;
+        int main(void) {
+            int *p;
+            p = &g;
+            *p = 7;
+            return *p;
+        }
+        """
+        module, result = analyzed(src)
+        stats = refine_memory_ops(module, result.sccs)
+        assert stats.loads_strengthened >= 1
+        assert stats.stores_strengthened >= 1
+        main = module.functions["main"]
+        assert not any(
+            isinstance(i, (MemLoad, MemStore)) for i in main.instructions()
+        )
+        run = run_module(module)
+        assert run.exit_code == 7
+
+    def test_aggregate_singleton_not_strengthened(self):
+        src = r"""
+        int arr[4];
+        int main(void) {
+            arr[2] = 5;
+            return arr[2];
+        }
+        """
+        module, result = analyzed(src)
+        stats = refine_memory_ops(module, result.sccs)
+        assert stats.loads_strengthened == 0
+        assert stats.stores_strengthened == 0
+
+    def test_multi_tag_not_strengthened(self):
+        src = r"""
+        int a;
+        int b;
+        int main(void) {
+            int *p;
+            if (a) { p = &a; } else { p = &b; }
+            *p = 3;
+            return a + b;
+        }
+        """
+        module, result = analyzed(src)
+        before = sum(
+            1 for i in module.functions["main"].instructions()
+            if isinstance(i, MemStore)
+        )
+        stats = refine_memory_ops(module, result.sccs)
+        after = sum(
+            1 for i in module.functions["main"].instructions()
+            if isinstance(i, MemStore)
+        )
+        assert before == after  # |tags| = 2: untouched
+        assert stats.stores_strengthened == 0
+
+    def test_recursive_function_local_not_strengthened(self):
+        src = r"""
+        int walk(int n) {
+            int slot;
+            int *p;
+            slot = n;
+            p = &slot;
+            *p = *p + 1;
+            if (n > 0) { return walk(n - 1) + *p; }
+            return *p;
+        }
+        int main(void) { return walk(3); }
+        """
+        module, result = analyzed(src)
+        stats = refine_memory_ops(module, result.sccs)
+        walk = module.functions["walk"]
+        # the local's tag stands for many activations at once: general
+        # operations must survive in the recursive function
+        assert any(
+            isinstance(i, (MemLoad, MemStore)) for i in walk.instructions()
+        )
+
+    def test_nonrecursive_local_strengthened(self):
+        src = r"""
+        int main(void) {
+            int slot;
+            int *p;
+            p = &slot;
+            *p = 41;
+            return *p + 1;
+        }
+        """
+        module, result = analyzed(src)
+        stats = refine_memory_ops(module, result.sccs)
+        assert stats.stores_strengthened >= 1
+        run = run_module(module)
+        assert run.exit_code == 42
+
+    def test_semantics_preserved_after_refinement(self):
+        src = r"""
+        int g;
+        int h;
+        int *sel;
+        int pick(int which) {
+            if (which) { sel = &g; } else { sel = &h; }
+            *sel = which + 10;
+            return *sel;
+        }
+        int main(void) {
+            int a;
+            int b;
+            a = pick(1);
+            b = pick(0);
+            printf("%d %d %d %d\n", a, b, g, h);
+            return 0;
+        }
+        """
+        module, result = analyzed(src)
+        expected = run_module(compile_c(src)).output
+        refine_memory_ops(module, result.sccs)
+        assert run_module(module).output == expected == "11 10 11 10\n"

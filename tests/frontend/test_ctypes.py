@@ -1,0 +1,96 @@
+"""Tests for the C type model."""
+
+from repro.ctype_model import (
+    ArrayType,
+    CHAR,
+    DOUBLE,
+    FunctionType,
+    INT,
+    LONG,
+    PointerType,
+    SHORT,
+    StructType,
+    VOID,
+    align_up,
+    build_struct,
+    decay,
+    natural_alignment,
+    usual_arithmetic,
+)
+
+
+class TestSizes:
+    def test_basic_sizes(self):
+        assert CHAR.size == 1
+        assert SHORT.size == 2
+        assert INT.size == 4
+        assert LONG.size == 8
+        assert DOUBLE.size == 8
+        assert PointerType(INT).size == 8
+        assert VOID.size == 0
+
+    def test_array_size(self):
+        assert ArrayType(INT, 10).size == 40
+        assert ArrayType(DOUBLE, 4).size == 32
+
+    def test_nested_array_size(self):
+        assert ArrayType(ArrayType(INT, 3), 2).size == 24
+
+
+class TestClassification:
+    def test_scalar(self):
+        assert INT.is_scalar()
+        assert DOUBLE.is_scalar()
+        assert PointerType(INT).is_scalar()
+        assert not ArrayType(INT, 2).is_scalar()
+        assert not VOID.is_scalar()
+
+    def test_arithmetic(self):
+        assert INT.is_arithmetic()
+        assert DOUBLE.is_arithmetic()
+        assert not PointerType(INT).is_arithmetic()
+
+
+class TestStructLayout:
+    def test_natural_alignment_padding(self):
+        s = build_struct("s", [("c", CHAR), ("d", DOUBLE), ("i", INT)])
+        assert s.field_named("c").offset == 0
+        assert s.field_named("d").offset == 8  # padded to 8
+        assert s.field_named("i").offset == 16
+        assert s.size == 24  # rounded to max alignment
+
+    def test_packed_ints(self):
+        s = build_struct("s", [("a", INT), ("b", INT)])
+        assert s.field_named("b").offset == 4
+        assert s.size == 8
+
+    def test_struct_with_array_member(self):
+        s = build_struct("s", [("n", INT), ("data", ArrayType(INT, 4))])
+        assert s.field_named("data").offset == 4
+        assert s.size == 20
+
+    def test_alignment_of_struct(self):
+        s = build_struct("s", [("c", CHAR), ("d", DOUBLE)])
+        assert natural_alignment(s) == 8
+
+
+class TestConversions:
+    def test_decay(self):
+        assert decay(ArrayType(INT, 5)) == PointerType(INT)
+        f = FunctionType(ret=INT)
+        assert decay(f) == PointerType(f)
+        assert decay(INT) == INT
+
+    def test_usual_arithmetic(self):
+        assert usual_arithmetic(INT, DOUBLE) == DOUBLE
+        assert usual_arithmetic(DOUBLE, INT) == DOUBLE
+        assert usual_arithmetic(CHAR, SHORT) == INT  # integer promotion
+        assert usual_arithmetic(INT, LONG) == LONG
+        assert usual_arithmetic(PointerType(INT), INT).is_pointer()
+
+    def test_align_up(self):
+        assert align_up(0, 8) == 0
+        assert align_up(1, 8) == 8
+        assert align_up(8, 8) == 8
+        assert align_up(9, 4) == 12
+        assert align_up(5, 1) == 5

@@ -1,0 +1,286 @@
+"""Expression-lowering tests, verified end-to-end through the interpreter."""
+
+import pytest
+
+from repro.errors import FrontendError, UnsupportedFeatureError
+from tests.helpers import run_c
+
+
+def expr_program(expr: str, setup: str = "", fmt: str = "%d") -> str:
+    return (
+        "int main(void) {\n"
+        + setup
+        + f'    printf("{fmt}\\n", {expr});\n'
+        + "    return 0;\n}\n"
+    )
+
+
+def eval_int(expr: str, setup: str = "") -> int:
+    out = run_c(expr_program(expr, setup)).output.strip()
+    return int(out)
+
+
+def eval_float(expr: str, setup: str = "") -> float:
+    out = run_c(expr_program(expr, setup, fmt="%f")).output.strip()
+    return float(out)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),       # C: truncation toward zero
+            ("7 % 3", 1),
+            ("-7 % 3", -1),       # C: sign of the dividend
+            ("1 << 10", 1024),
+            ("1024 >> 3", 128),
+            ("0xF0 & 0x3C", 0x30),
+            ("0xF0 | 0x0F", 0xFF),
+            ("0xFF ^ 0x0F", 0xF0),
+            ("~0", -1),
+            ("-(5)", -5),
+            ("+(5)", 5),
+        ],
+    )
+    def test_integer_expressions(self, expr, value):
+        assert eval_int(expr) == value
+
+    def test_float_division(self):
+        assert eval_float("7.0 / 2.0") == pytest.approx(3.5)
+
+    def test_mixed_arithmetic_promotes(self):
+        assert eval_float("7 / 2.0") == pytest.approx(3.5)
+        assert eval_float("1 + 0.5") == pytest.approx(1.5)
+
+    def test_cast_truncates(self):
+        assert eval_int("(int) 3.9") == 3
+        assert eval_int("(int) -3.9") == -3
+
+    def test_cast_to_double(self):
+        assert eval_float("(double) 3 / 2") == pytest.approx(1.5)
+
+
+class TestComparisonsAndLogic:
+    @pytest.mark.parametrize(
+        "expr,value",
+        [
+            ("3 < 4", 1), ("4 < 3", 0),
+            ("3 <= 3", 1), ("3 > 3", 0), ("3 >= 3", 1),
+            ("3 == 3", 1), ("3 != 3", 0),
+            ("!0", 1), ("!5", 0),
+            ("1 && 2", 1), ("1 && 0", 0), ("0 && 1", 0),
+            ("0 || 0", 0), ("0 || 7", 1), ("3 || 0", 1),
+        ],
+    )
+    def test_predicates(self, expr, value):
+        assert eval_int(expr) == value
+
+    def test_short_circuit_and(self):
+        # the right operand must not execute: it would divide by zero
+        setup = "    int z;\n    z = 0;\n"
+        assert eval_int("z != 0 && (10 / z) > 0", setup) == 0
+
+    def test_short_circuit_or(self):
+        setup = "    int z;\n    z = 0;\n"
+        assert eval_int("z == 0 || (10 / z) > 0", setup) == 1
+
+    def test_ternary(self):
+        assert eval_int("1 ? 10 : 20") == 10
+        assert eval_int("0 ? 10 : 20") == 20
+
+    def test_ternary_evaluates_one_side(self):
+        setup = "    int z;\n    z = 0;\n"
+        assert eval_int("z ? 10 / z : 42", setup) == 42
+
+    def test_comma(self):
+        assert eval_int("(1, 2, 3)") == 3
+
+
+class TestAssignmentOperators:
+    @pytest.mark.parametrize(
+        "op,start,rhs,expected",
+        [
+            ("+=", 10, 3, 13),
+            ("-=", 10, 3, 7),
+            ("*=", 10, 3, 30),
+            ("/=", 10, 3, 3),
+            ("%=", 10, 3, 1),
+            ("<<=", 1, 4, 16),
+            (">>=", 16, 2, 4),
+            ("&=", 0xF, 0x9, 9),
+            ("|=", 0x8, 0x1, 9),
+            ("^=", 0xF, 0x1, 14),
+        ],
+    )
+    def test_compound_assignment(self, op, start, rhs, expected):
+        setup = f"    int x;\n    x = {start};\n    x {op} {rhs};\n"
+        assert eval_int("x", setup) == expected
+
+    def test_assignment_value(self):
+        setup = "    int x;\n    int y;\n    y = (x = 5) + 1;\n"
+        assert eval_int("y", setup) == 6
+
+    def test_chained_assignment(self):
+        setup = "    int a;\n    int b;\n    a = b = 4;\n"
+        assert eval_int("a + b", setup) == 8
+
+
+class TestIncDec:
+    def test_postincrement_yields_old(self):
+        setup = "    int x;\n    int y;\n    x = 5;\n    y = x++;\n"
+        assert eval_int("y * 100 + x", setup) == 506
+
+    def test_preincrement_yields_new(self):
+        setup = "    int x;\n    int y;\n    x = 5;\n    y = ++x;\n"
+        assert eval_int("y * 100 + x", setup) == 606
+
+    def test_postdecrement(self):
+        setup = "    int x;\n    x = 5;\n    x--;\n"
+        assert eval_int("x", setup) == 4
+
+    def test_increment_through_pointer_scales(self):
+        setup = (
+            "    int arr[3];\n    int *p;\n"
+            "    arr[0] = 10; arr[1] = 20; arr[2] = 30;\n"
+            "    p = arr;\n    p++;\n"
+        )
+        assert eval_int("*p", setup) == 20
+
+
+class TestPointersAndArrays:
+    def test_address_of_and_deref(self):
+        setup = "    int x;\n    int *p;\n    x = 9;\n    p = &x;\n    *p = 11;\n"
+        assert eval_int("x", setup) == 11
+
+    def test_pointer_arithmetic(self):
+        setup = (
+            "    int arr[4];\n    int *p;\n    int i;\n"
+            "    for (i = 0; i < 4; i++) { arr[i] = i * i; }\n"
+            "    p = arr + 1;\n"
+        )
+        assert eval_int("*(p + 2)", setup) == 9
+
+    def test_pointer_difference(self):
+        setup = (
+            "    int arr[8];\n    int *a;\n    int *b;\n"
+            "    a = arr + 1;\n    b = arr + 6;\n"
+        )
+        assert eval_int("(int)(b - a)", setup) == 5
+
+    def test_2d_array(self):
+        setup = (
+            "    int m[3][4];\n    int i;\n    int j;\n"
+            "    for (i = 0; i < 3; i++) {\n"
+            "        for (j = 0; j < 4; j++) { m[i][j] = i * 10 + j; }\n"
+            "    }\n"
+        )
+        assert eval_int("m[2][3]", setup) == 23
+
+    def test_array_through_pointer_param(self):
+        src = r"""
+        int sum(int *data, int n) {
+            int total;
+            int i;
+            total = 0;
+            for (i = 0; i < n; i++) { total += data[i]; }
+            return total;
+        }
+        int main(void) {
+            int arr[5];
+            int i;
+            for (i = 0; i < 5; i++) { arr[i] = i + 1; }
+            printf("%d\n", sum(arr, 5));
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "15"
+
+
+class TestStructs:
+    def test_member_access(self):
+        src = r"""
+        struct point { int x; int y; };
+        int main(void) {
+            struct point p;
+            p.x = 3;
+            p.y = 4;
+            printf("%d\n", p.x * p.x + p.y * p.y);
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "25"
+
+    def test_arrow_access(self):
+        src = r"""
+        struct pair { int a; int b; };
+        int main(void) {
+            struct pair p;
+            struct pair *q;
+            q = &p;
+            q->a = 6;
+            q->b = 7;
+            printf("%d\n", q->a * q->b);
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "42"
+
+    def test_struct_with_double_and_padding(self):
+        src = r"""
+        struct mixed { char c; double d; int i; };
+        int main(void) {
+            struct mixed m;
+            m.c = 'x';
+            m.d = 2.5;
+            m.i = 4;
+            printf("%c %f %d\n", m.c, m.d, m.i);
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "x 2.500000 4"
+
+
+class TestConstantsAndSizeof:
+    def test_char_literal(self):
+        assert eval_int("'A'") == 65
+        assert eval_int("'\\n'") == 10
+
+    def test_hex_and_octal(self):
+        assert eval_int("0x1F") == 31
+        assert eval_int("010") == 8
+
+    def test_sizeof_type(self):
+        assert eval_int("(int) sizeof(int)") == 4
+        assert eval_int("(int) sizeof(double)") == 8
+        assert eval_int("(int) sizeof(char *)") == 8
+
+    def test_sizeof_variable(self):
+        setup = "    int arr[10];\n    arr[0] = 0;\n"
+        assert eval_int("(int) sizeof arr", setup) == 40
+
+    def test_enum_constants(self):
+        src = r"""
+        enum color { RED, GREEN = 5, BLUE };
+        int main(void) {
+            printf("%d %d %d\n", RED, GREEN, BLUE);
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "0 5 6"
+
+
+class TestErrors:
+    def test_undeclared_variable(self):
+        with pytest.raises(FrontendError):
+            run_c("int main(void) { return nope; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(FrontendError):
+            run_c("int main(void) { return mystery(1); }")
+
+    def test_union_unsupported(self):
+        with pytest.raises(UnsupportedFeatureError):
+            run_c("union u { int a; }; int main(void) { return 0; }")

@@ -1,0 +1,121 @@
+"""Tests for the mini-preprocessor."""
+
+import pytest
+
+from repro.errors import UnsupportedFeatureError
+from repro.frontend.preprocess import preprocess, strip_comments
+
+
+class TestComments:
+    def test_block_comment_removed(self):
+        assert strip_comments("int /* comment */ x;") == "int   x;"
+
+    def test_line_comment_removed(self):
+        assert strip_comments("int x; // tail\nint y;") == "int x; \nint y;"
+
+    def test_multiline_block_keeps_line_numbers(self):
+        out = strip_comments("a /* one\ntwo\nthree */ b")
+        assert out.count("\n") == 2
+        assert "one" not in out
+
+    def test_comment_markers_inside_strings_survive(self):
+        src = 'char *s = "/* not a comment */";'
+        assert strip_comments(src) == src
+
+    def test_slashes_in_char_literal(self):
+        src = "int c = '/';\nint d = c / 2; // half"
+        out = strip_comments(src)
+        assert "'/'" in out
+        assert "half" not in out
+
+    def test_unterminated_block_comment_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            strip_comments("int x; /* never closed")
+
+
+class TestDefines:
+    def test_object_macro_expansion(self):
+        out = preprocess("#define N 10\nint a[N];\n")
+        assert "int a[10];" in out
+
+    def test_macro_not_expanded_inside_identifier(self):
+        out = preprocess("#define N 10\nint N1;\nint xN;\n")
+        assert "int N1;" in out
+        assert "int xN;" in out
+
+    def test_macro_not_expanded_in_string(self):
+        out = preprocess('#define N 10\nchar *s = "N";\n')
+        assert '"N"' in out
+
+    def test_recursive_expansion(self):
+        out = preprocess("#define A B\n#define B 3\nint x = A;\n")
+        assert "int x = 3;" in out
+
+    def test_self_referential_macro_detected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            preprocess("#define LOOP LOOP more\nint x = LOOP;\n")
+
+    def test_function_like_macro_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            preprocess("#define SQ(x) ((x)*(x))\n")
+
+    def test_external_defines(self):
+        out = preprocess("int mode = MODE;\n", defines={"MODE": "2"})
+        assert "int mode = 2;" in out
+
+    def test_undef(self):
+        out = preprocess("#define N 1\n#undef N\nint N;\n")
+        assert "int N;" in out
+
+
+class TestConditionals:
+    def test_ifdef_taken(self):
+        out = preprocess("#define ON 1\n#ifdef ON\nint x;\n#endif\n")
+        assert "int x;" in out
+
+    def test_ifdef_skipped(self):
+        out = preprocess("#ifdef OFF\nint x;\n#endif\nint y;\n")
+        assert "int x;" not in out
+        assert "int y;" in out
+
+    def test_ifndef(self):
+        out = preprocess("#ifndef OFF\nint x;\n#endif\n")
+        assert "int x;" in out
+
+    def test_else(self):
+        out = preprocess("#ifdef OFF\nint x;\n#else\nint y;\n#endif\n")
+        assert "int x;" not in out
+        assert "int y;" in out
+
+    def test_nested_conditionals(self):
+        src = (
+            "#define A 1\n#ifdef A\n#ifdef B\nint both;\n#else\n"
+            "int only_a;\n#endif\n#endif\n"
+        )
+        out = preprocess(src)
+        assert "int only_a;" in out
+        assert "int both;" not in out
+
+    def test_unbalanced_endif_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            preprocess("#endif\n")
+
+    def test_unterminated_ifdef_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            preprocess("#ifdef X\nint a;\n")
+
+    def test_line_numbers_preserved(self):
+        src = "#include <stdio.h>\n\nint x;\n"
+        out = preprocess(src)
+        assert out.splitlines()[2] == "int x;"
+
+
+class TestIncludes:
+    def test_include_dropped(self):
+        out = preprocess('#include <stdio.h>\n#include "local.h"\nint x;\n')
+        assert "include" not in out
+        assert "int x;" in out
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(UnsupportedFeatureError):
+            preprocess("#pragma once\n")

@@ -1,0 +1,61 @@
+"""Shared test utilities."""
+
+from __future__ import annotations
+
+from repro.frontend import compile_c
+from repro.interp import MachineOptions, RunResult, run_module
+from repro.ir.module import Module
+from repro.pipeline import (
+    ExperimentCell,
+    PipelineOptions,
+    compile_and_run,
+    paper_variants,
+)
+
+
+def run_c(source: str, max_steps: int = 5_000_000, **kwargs) -> RunResult:
+    """Compile C and interpret the *unoptimized* module."""
+    module = compile_c(source, **kwargs)
+    return run_module(module, options=MachineOptions(max_steps=max_steps))
+
+
+def compile_ir(source: str, **kwargs) -> Module:
+    return compile_c(source, **kwargs)
+
+
+def run_all_variants(
+    source: str, max_steps: int = 5_000_000, **kwargs
+) -> dict[str, ExperimentCell]:
+    """Run the paper's 4 pipeline variants plus the raw module; assert
+    that all five produce the same output and exit code.  Returns the four
+    optimized cells."""
+    raw = run_c(source, max_steps=max_steps)
+    cells: dict[str, ExperimentCell] = {}
+    for name, options in paper_variants().items():
+        cell = compile_and_run(
+            source,
+            options,
+            machine_options=MachineOptions(max_steps=max_steps),
+            **kwargs,
+        )
+        assert cell.output == raw.output, (
+            f"{name} output diverged:\n--- raw ---\n{raw.output}"
+            f"\n--- {name} ---\n{cell.output}"
+        )
+        assert cell.exit_code == raw.exit_code, name
+        cells[name] = cell
+    return cells
+
+
+def run_optimized(
+    source: str,
+    options: PipelineOptions | None = None,
+    max_steps: int = 5_000_000,
+    **kwargs,
+) -> ExperimentCell:
+    return compile_and_run(
+        source,
+        options or PipelineOptions(),
+        machine_options=MachineOptions(max_steps=max_steps),
+        **kwargs,
+    )

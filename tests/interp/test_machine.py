@@ -1,0 +1,202 @@
+"""Interpreter semantics tests: C arithmetic, memory, control, counters."""
+
+import pytest
+
+from repro.errors import InterpError, InterpTrap, ResourceLimitError
+from repro.interp import MachineOptions, c_div, c_mod, run_module, wrap_int
+from repro.interp.machine import Machine
+from tests.helpers import compile_ir, run_c
+
+
+class TestArithmeticHelpers:
+    @pytest.mark.parametrize(
+        "a,b,q,r",
+        [
+            (7, 2, 3, 1),
+            (-7, 2, -3, -1),
+            (7, -2, -3, 1),
+            (-7, -2, 3, -1),
+            (0, 5, 0, 0),
+            (1, 1, 1, 0),
+        ],
+    )
+    def test_c_division_truncates_toward_zero(self, a, b, q, r):
+        assert c_div(a, b) == q
+        assert c_mod(a, b) == r
+        assert q * b + r == a
+
+    def test_division_by_zero_traps(self):
+        with pytest.raises(InterpTrap):
+            c_div(1, 0)
+
+    def test_wrap_int_two_complement(self):
+        assert wrap_int(2**63) == -(2**63)
+        assert wrap_int(-(2**63) - 1) == 2**63 - 1
+        assert wrap_int(2**64) == 0
+        assert wrap_int(42) == 42
+
+    def test_overflow_wraps_in_program(self):
+        src = r"""
+        int main(void) {
+            long x;
+            x = 9223372036854775807;
+            x = x + 1;
+            printf("%d\n", (int)(x < 0));
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "1"
+
+
+class TestCounters:
+    def test_counts_match_known_program(self):
+        src = r"""
+        int g;
+        int main(void) {
+            g = 1;
+            g = g + 1;
+            return g;
+        }
+        """
+        result = run_c(src)
+        # g=1 (store); g=g+1 (load, store); return g (load)
+        assert result.counters.stores == 2
+        assert result.counters.loads == 2
+        assert result.counters.scalar_stores == 2
+        assert result.counters.general_stores == 0
+        assert result.exit_code == 2
+
+    def test_loadi_not_counted_as_load(self):
+        result = run_c("int main(void) { return 1 + 2; }")
+        assert result.counters.loads == 0
+        assert result.counters.total_ops > 0
+
+    def test_call_breakdown(self):
+        src = r"""
+        int id(int x) { return x; }
+        int main(void) { return id(id(3)); }
+        """
+        result = run_c(src)
+        assert result.counters.calls == 2
+
+    def test_step_limit_enforced(self):
+        src = "int main(void) { while (1) { } return 0; }"
+        module = compile_ir(src)
+        with pytest.raises(ResourceLimitError):
+            run_module(module, options=MachineOptions(max_steps=1000))
+
+
+class TestMemoryBehaviour:
+    def test_globals_zero_initialized(self):
+        src = r"""
+        int g;
+        double d;
+        int arr[3];
+        int main(void) {
+            printf("%d %f %d\n", g, d, arr[1]);
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "0 0.000000 0"
+
+    def test_recursion_gets_fresh_locals(self):
+        src = r"""
+        int depth_product(int n) {
+            int local;
+            int *p;
+            p = &local;
+            *p = n;
+            if (n <= 1) { return *p; }
+            return *p * depth_product(n - 1);
+        }
+        int main(void) { printf("%d\n", depth_product(5)); return 0; }
+        """
+        assert run_c(src).output.strip() == "120"
+
+    def test_malloc_regions_disjoint(self):
+        src = r"""
+        int main(void) {
+            int *a;
+            int *b;
+            a = (int *) malloc(40);
+            b = (int *) malloc(40);
+            a[0] = 1;
+            b[0] = 2;
+            printf("%d %d\n", a[0], b[0]);
+            return 0;
+        }
+        """
+        assert run_c(src).output.strip() == "1 2"
+
+    def test_free_accepts_heap_pointer(self):
+        src = r"""
+        int main(void) {
+            int *a;
+            a = (int *) malloc(8);
+            free(a);
+            return 0;
+        }
+        """
+        assert run_c(src).exit_code == 0
+
+    def test_stack_overflow_detected(self):
+        src = r"""
+        int infinite(int n) { return infinite(n + 1); }
+        int main(void) { return infinite(0); }
+        """
+        module = compile_ir(src)
+        with pytest.raises(ResourceLimitError):
+            run_module(module, options=MachineOptions(max_steps=100_000_000))
+
+
+class TestExitPaths:
+    def test_exit_intrinsic(self):
+        src = r"""
+        int main(void) {
+            printf("before\n");
+            exit(3);
+            printf("after\n");
+            return 0;
+        }
+        """
+        result = run_c(src)
+        assert result.exit_code == 3
+        assert result.output == "before\n"
+
+    def test_main_return_value(self):
+        assert run_c("int main(void) { return 41; }").exit_code == 41
+
+    def test_missing_entry(self):
+        module = compile_ir("int helper(void) { return 1; }")
+        with pytest.raises(InterpError):
+            run_module(module)
+
+
+class TestDeterminism:
+    def test_rand_sequence_reproducible(self):
+        src = r"""
+        int main(void) {
+            srand(7);
+            printf("%d %d %d\n", rand(), rand(), rand());
+            return 0;
+        }
+        """
+        first = run_c(src).output
+        second = run_c(src).output
+        assert first == second
+
+    def test_two_machines_identical(self):
+        src = r"""
+        int acc;
+        int main(void) {
+            int i;
+            for (i = 0; i < 100; i++) { acc += i * 3; }
+            return acc % 251;
+        }
+        """
+        module = compile_ir(src)
+        r1 = Machine(module).run()
+        module2 = compile_ir(src)
+        r2 = Machine(module2).run()
+        assert r1.exit_code == r2.exit_code
+        assert r1.counters.total_ops == r2.counters.total_ops

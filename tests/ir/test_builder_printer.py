@@ -1,0 +1,165 @@
+"""Tests for the IR builder and the textual printer."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend import compile_c
+from repro.ir import (
+    Function,
+    IRBuilder,
+    Opcode,
+    Tag,
+    TagKind,
+    TagSet,
+    format_function,
+    format_module,
+    verify_function,
+)
+
+G = Tag("g", TagKind.GLOBAL)
+
+
+class TestBuilder:
+    def test_requires_block(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        with pytest.raises(IRError):
+            b.loadi(1)
+
+    def test_emits_in_order(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        b.start_block()
+        x = b.loadi(1)
+        y = b.loadi(2)
+        total = b.add(x, y)
+        b.ret(total)
+        ops = [type(i).__name__ for i in func.entry_block().instrs]
+        assert ops == ["LoadI", "LoadI", "BinOp", "Ret"]
+        verify_function(func)
+
+    def test_all_memory_helpers(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        b.start_block()
+        addr = b.la(G, offset=8)
+        v = b.load(addr, TagSet.of(G))
+        b.store(v, addr, TagSet.of(G))
+        s = b.sload(G)
+        b.sstore(s, G)
+        c = b.cload(G)
+        b.ret(c)
+        verify_function(func)
+
+    def test_branch_by_block_or_label(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        entry = b.start_block()
+        cond = b.loadi(1)
+        t = func.new_block(label="T")
+        f = func.new_block(label="F")
+        b.cbr(cond, t, "F")
+        b.set_block(t)
+        b.ret()
+        b.set_block(f)
+        b.ret()
+        verify_function(func)
+        assert entry.successors() == ("T", "F")
+
+    def test_call_with_and_without_result(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        b.start_block()
+        none = b.call("printf")
+        some = b.call("rand", returns=True)
+        assert none is None
+        assert some is not None
+        b.ret(some)
+        verify_function(func)
+
+    def test_binop_hint_used(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        b.start_block()
+        x = b.loadi(1, hint="x")
+        assert "x" in str(x)
+
+
+class TestPrinter:
+    def test_function_format_contains_blocks_and_entry_marker(self):
+        func = Function("f")
+        b = IRBuilder(func)
+        b.start_block()
+        b.ret()
+        text = format_function(func)
+        assert "func f(" in text
+        assert "; entry" in text
+        assert "ret" in text
+
+    def test_module_format_round_trips_all_sections(self):
+        src = r"""
+        int g = 3;
+        const int limit = 10;
+        int main(void) {
+            printf("hello %d\n", g + limit);
+            return 0;
+        }
+        """
+        module = compile_c(src)
+        text = format_module(module)
+        assert "; module" in text
+        assert "global g size=4 init={0: 3}" in text
+        assert "global const limit" in text
+        assert "string @str0" in text
+        assert "func main()" in text
+        assert text.endswith("\n")
+
+    def test_tag_sets_printed_sorted(self):
+        src = r"""
+        int a;
+        int b;
+        int main(void) {
+            int *p;
+            if (a) { p = &a; } else { p = &b; }
+            return *p;
+        }
+        """
+        module = compile_c(src)
+        from repro.analysis.modref import run_modref
+
+        run_modref(module)
+        text = format_module(module)
+        assert "[a b]" in text
+
+    def test_local_tags_listed(self):
+        src = r"""
+        int main(void) {
+            int x;
+            int *p;
+            p = &x;
+            return *p;
+        }
+        """
+        module = compile_c(src)
+        text = format_module(module)
+        assert "; local tags: main.x" in text
+
+    def test_every_instruction_has_stable_str(self):
+        """str() of every instruction in a realistic module is non-empty
+        and mentions its opcode."""
+        src = r"""
+        double d;
+        int arr[3];
+        int f(int x) { return x + 1; }
+        int main(void) {
+            int i;
+            for (i = 0; i < 3; i++) { arr[i] = f(i); }
+            d = 1.5 * (double) arr[2];
+            printf("%f\n", d);
+            return 0;
+        }
+        """
+        module = compile_c(src)
+        for func in module.functions.values():
+            for instr in func.instructions():
+                assert str(instr).strip()

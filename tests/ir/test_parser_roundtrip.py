@@ -1,0 +1,154 @@
+"""Round-trip tests: print -> parse -> print must be a fixpoint, and the
+parsed module must behave identically under the interpreter."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend import compile_c
+from repro.interp import MachineOptions, run_module
+from repro.ir import format_module, verify_module
+from repro.ir.parser import parse_module
+from repro.pipeline import PipelineOptions, compile_source
+from repro.workloads import get_workload
+
+SOURCES = {
+    "scalars": r"""
+        int g = 3;
+        int main(void) {
+            int i;
+            for (i = 0; i < 10; i++) { g += i; }
+            printf("%d\n", g);
+            return 0;
+        }
+    """,
+    "pointers": r"""
+        int data[8];
+        int *p;
+        int pick(int *q, int n) { return q[n]; }
+        int main(void) {
+            int i;
+            p = data;
+            for (i = 0; i < 8; i++) { data[i] = i * i; }
+            printf("%d %d\n", pick(p, 3), *p);
+            return 0;
+        }
+    """,
+    "floats_and_calls": r"""
+        double acc;
+        int main(void) {
+            int i;
+            for (i = 1; i <= 5; i++) { acc += sqrt((double) i); }
+            printf("%.3f\n", acc);
+            return 0;
+        }
+    """,
+    "locals_addr_taken": r"""
+        void bump(int *x) { *x = *x + 1; }
+        int main(void) {
+            int n;
+            n = 40;
+            bump(&n);
+            bump(&n);
+            printf("%d\n", n);
+            return 0;
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+class TestRoundTrip:
+    def test_print_parse_print_fixpoint(self, name):
+        module = compile_c(SOURCES[name])
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+    def test_parsed_module_runs_identically(self, name):
+        module = compile_c(SOURCES[name])
+        expected = run_module(module, options=MachineOptions())
+        fresh = compile_c(SOURCES[name])
+        reparsed = parse_module(format_module(fresh))
+        actual = run_module(reparsed, options=MachineOptions())
+        assert actual.output == expected.output
+        assert actual.exit_code == expected.exit_code
+
+    def test_optimized_module_round_trips(self, name):
+        result = compile_source(SOURCES[name], PipelineOptions())
+        text = format_module(result.module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+
+class TestWorkloadRoundTrip:
+    @pytest.mark.parametrize("workload", ["allroots", "indent", "bc"])
+    def test_workload_ir_round_trips(self, workload):
+        w = get_workload(workload)
+        module = compile_c(w.source, name=w.name, defines=w.defines)
+        text = format_module(module)
+        reparsed = parse_module(text)
+        verify_module(reparsed)
+        assert format_module(reparsed) == text
+
+
+class TestHandWritten:
+    def test_minimal_function(self):
+        text = """
+func main() {
+B0: ; entry
+    %r0 = loadi 41
+    %r1 = loadi 1
+    %r2 = add %r0, %r1
+    ret %r2
+}
+"""
+        module = parse_module(text)
+        assert run_module(module).exit_code == 42
+
+    def test_scalar_memory_ops(self):
+        text = """
+global g size=4
+func main() {
+B0: ; entry
+    %r0 = loadi 7
+    sstore %r0 -> [g]
+    %r1 = sload [g]
+    ret %r1
+}
+"""
+        module = parse_module(text)
+        assert run_module(module).exit_code == 7
+
+    def test_control_flow_and_calls(self):
+        text = """
+global n size=4 init={0: 3}
+func double_it(%x0) {
+B0: ; entry
+    %r1 = add %x0, %x0
+    ret %r1
+}
+
+func main() {
+B0: ; entry
+    %r0 = sload [n]
+    cbr %r0 ? T1 : F2
+T1:
+    %r1 = call double_it(%r0) mod=[] ref=[]
+    ret %r1
+F2:
+    %r2 = loadi -1
+    ret %r2
+}
+"""
+        module = parse_module(text)
+        assert run_module(module).exit_code == 6
+
+    def test_bad_syntax_rejected(self):
+        with pytest.raises(IRError):
+            parse_module("func broken( {\n}")
+        with pytest.raises(IRError):
+            parse_module("func f() {\nB0: ; entry\n    %r0 = frobnicate 1\n}")
+        with pytest.raises(IRError):
+            parse_module("func f() {\n    %r0 = loadi 1\n}")  # before label

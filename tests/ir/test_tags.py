@@ -1,0 +1,122 @@
+"""Unit tests for tags and tag sets."""
+
+import pytest
+
+from repro.ir.tags import Tag, TagKind, TagSet, scalar_tags
+
+T1 = Tag("a", TagKind.GLOBAL)
+T2 = Tag("b", TagKind.GLOBAL)
+T3 = Tag("f.x", TagKind.LOCAL, owner="f")
+ARR = Tag("arr", TagKind.GLOBAL, is_scalar=False)
+
+
+class TestTag:
+    def test_identity_by_fields(self):
+        assert Tag("a", TagKind.GLOBAL) == T1
+        assert Tag("a", TagKind.LOCAL) != T1
+
+    def test_str(self):
+        assert str(T3) == "f.x"
+
+    def test_scalar_flag(self):
+        assert T1.is_scalar
+        assert not ARR.is_scalar
+
+
+class TestTagSetConstruction:
+    def test_empty(self):
+        s = TagSet.empty()
+        assert s.is_empty()
+        assert not s
+        assert len(s) == 0
+
+    def test_of(self):
+        s = TagSet.of(T1, T2)
+        assert len(s) == 2
+        assert T1 in s and T2 in s
+        assert T3 not in s
+
+    def test_universe(self):
+        u = TagSet.universe()
+        assert u.universal
+        assert not u.is_empty()
+        assert T1 in u  # everything is a member
+
+    def test_from_iterable(self):
+        s = TagSet.from_iterable([T1, T1, T2])
+        assert len(s) == 2
+
+    def test_singleton(self):
+        s = TagSet.of(T1)
+        assert s.is_singleton()
+        assert s.the_tag() == T1
+
+    def test_the_tag_rejects_non_singleton(self):
+        with pytest.raises(ValueError):
+            TagSet.of(T1, T2).the_tag()
+        with pytest.raises(ValueError):
+            TagSet.universe().the_tag()
+
+
+class TestTagSetAlgebra:
+    def test_union(self):
+        s = TagSet.of(T1).union(TagSet.of(T2))
+        assert set(s) == {T1, T2}
+
+    def test_union_universe_absorbs(self):
+        assert TagSet.of(T1).union(TagSet.universe()).universal
+        assert TagSet.universe().union(TagSet.of(T1)).universal
+
+    def test_union_with_empty_is_identity(self):
+        s = TagSet.of(T1)
+        assert s.union(TagSet.empty()) == s
+        assert TagSet.empty().union(s) == s
+
+    def test_intersect(self):
+        a = TagSet.of(T1, T2)
+        b = TagSet.of(T2, T3)
+        assert set(a.intersect(b)) == {T2}
+
+    def test_intersect_universe_is_identity(self):
+        s = TagSet.of(T1, T2)
+        assert s.intersect(TagSet.universe()) == s
+        assert TagSet.universe().intersect(s) == s
+
+    def test_without(self):
+        s = TagSet.of(T1, T2).without([T1])
+        assert set(s) == {T2}
+
+    def test_without_on_universe_is_noop(self):
+        assert TagSet.universe().without([T1]).universal
+
+    def test_overlaps(self):
+        assert TagSet.of(T1, T2).overlaps(TagSet.of(T2))
+        assert not TagSet.of(T1).overlaps(TagSet.of(T2))
+        assert TagSet.universe().overlaps(TagSet.of(T1))
+        assert not TagSet.universe().overlaps(TagSet.empty())
+        assert not TagSet.empty().overlaps(TagSet.universe())
+
+    def test_materialize(self):
+        m = TagSet.universe().materialize([T1, T2])
+        assert set(m) == {T1, T2}
+        s = TagSet.of(T3)
+        assert s.materialize([T1]) == s  # finite sets unchanged
+
+    def test_iteration_of_universe_raises(self):
+        with pytest.raises(ValueError):
+            list(TagSet.universe())
+        with pytest.raises(ValueError):
+            len(TagSet.universe())
+
+
+class TestScalarTags:
+    def test_filters_aggregates(self):
+        assert scalar_tags([T1, ARR, T3]) == frozenset({T1, T3})
+
+
+class TestDisplay:
+    def test_str_sorted(self):
+        assert str(TagSet.of(T2, T1)) == "[a b]"
+
+    def test_str_universe(self):
+        assert str(TagSet.universe()) == "[*]"

@@ -1,0 +1,111 @@
+"""Figure 1 — the promotion data-flow equations, unit-tested directly on
+synthetic loop nests (independent of any front end or rewrite)."""
+
+from repro.analysis.loops import find_loops
+from repro.ir import Function, IRBuilder, Tag, TagKind
+from repro.opt.promotion import PromotionOptions, solve_loop_equations
+
+from tests.analysis.test_dominators import build_cfg
+
+A = Tag("A", TagKind.GLOBAL)
+B = Tag("B", TagKind.GLOBAL)
+C = Tag("C", TagKind.GLOBAL)
+ARR = Tag("arr", TagKind.GLOBAL, is_scalar=False)
+
+
+def nest() -> tuple[Function, object]:
+    """outer loop H1 { inner loop H2 }, plus exit X."""
+    func = build_cfg(
+        {
+            "A0": ("H1",),
+            "H1": ("H2", "X"),
+            "H2": ("B2", "L1"),
+            "B2": ("H2",),
+            "L1": ("H1",),
+            "X": (),
+        },
+        "A0",
+    )
+    return func, find_loops(func)
+
+
+def solve(func, forest, explicit, ambiguous, **opts):
+    options = PromotionOptions(**opts) if opts else None
+    full_explicit = {label: explicit.get(label, set()) for label in func.blocks}
+    full_ambiguous = {label: ambiguous.get(label, set()) for label in func.blocks}
+    return solve_loop_equations(func, forest, full_explicit, full_ambiguous, options)
+
+
+class TestEquations:
+    def test_equation_1_and_2_aggregate_blocks(self):
+        func, forest = nest()
+        sets = solve(
+            func, forest,
+            explicit={"H1": {A}, "B2": {B}},
+            ambiguous={"L1": {C}},
+        )
+        assert sets["H1"].explicit == {A, B}
+        assert sets["H1"].ambiguous == {C}
+        assert sets["H2"].explicit == {B}
+        assert sets["H2"].ambiguous == set()
+
+    def test_equation_3_promotable_is_difference(self):
+        func, forest = nest()
+        sets = solve(
+            func, forest,
+            explicit={"H1": {A, B}},
+            ambiguous={"H1": {B}},
+        )
+        assert sets["H1"].promotable == {A}
+
+    def test_equation_4_outermost_lifts(self):
+        func, forest = nest()
+        sets = solve(func, forest, explicit={"B2": {A}}, ambiguous={})
+        # A is promotable in both loops; lift only around the outer one
+        assert sets["H1"].promotable == {A}
+        assert sets["H2"].promotable == {A}
+        assert sets["H1"].lift == {A}
+        assert sets["H2"].lift == set()
+
+    def test_equation_4_inner_lift_when_outer_poisoned(self):
+        func, forest = nest()
+        sets = solve(
+            func, forest,
+            explicit={"B2": {A}},
+            ambiguous={"L1": {A}},   # L1 is in the outer loop only
+        )
+        assert sets["H1"].promotable == set()
+        assert sets["H2"].promotable == {A}
+        assert sets["H2"].lift == {A}
+
+    def test_non_scalar_tags_never_promotable(self):
+        func, forest = nest()
+        sets = solve(func, forest, explicit={"B2": {ARR, A}}, ambiguous={})
+        assert sets["H2"].promotable == {A}
+        assert ARR in sets["H2"].explicit
+
+    def test_ambiguity_anywhere_in_loop_poisons_whole_loop(self):
+        func, forest = nest()
+        sets = solve(
+            func, forest,
+            explicit={"H2": {A}},
+            ambiguous={"B2": {A}},   # same loop, different block
+        )
+        assert sets["H2"].promotable == set()
+
+    def test_tag_untouched_by_loop_not_promotable(self):
+        func, forest = nest()
+        sets = solve(func, forest, explicit={"A0": {A}}, ambiguous={})
+        # A is referenced only outside the loops
+        assert sets["H1"].promotable == set()
+        assert sets["H2"].promotable == set()
+
+    def test_max_promoted_per_loop_throttle(self):
+        func, forest = nest()
+        sets = solve(
+            func, forest,
+            explicit={"B2": {A, B, C}},
+            ambiguous={},
+            max_promoted_per_loop=2,
+        )
+        assert len(sets["H2"].promotable) == 2

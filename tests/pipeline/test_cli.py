@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+PROGRAM = r"""
+int total;
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i++) { total += i; }
+    printf("total=%d\n", total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture()
+def c_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestRun:
+    def test_run_executes_and_prints(self, c_file, capsys):
+        code = main(["run", c_file])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "total=45" in captured.out
+        assert "ops=" in captured.err
+
+    def test_run_exit_code_is_programs(self, tmp_path, capsys):
+        path = tmp_path / "exit7.c"
+        path.write_text("int main(void) { return 7; }")
+        assert main(["run", str(path)]) == 7
+
+    def test_variant_flags(self, c_file, capsys):
+        code = main(["run", c_file, "--analysis", "pointer", "--no-promotion"])
+        assert code == 0
+        assert "pointer/nopromo" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_prints_four_variants(self, c_file, capsys):
+        assert main(["compare", c_file]) == 0
+        out = capsys.readouterr().out
+        for variant in (
+            "modref/nopromo", "modref/promo", "pointer/nopromo", "pointer/promo"
+        ):
+            assert variant in out
+        assert "total=45" in out
+
+
+class TestIR:
+    def test_ir_prints_module(self, c_file, capsys):
+        assert main(["ir", c_file]) == 0
+        out = capsys.readouterr().out
+        assert "func main()" in out
+        assert "global total" in out
+
+    def test_no_opt_keeps_raw_loads(self, c_file, capsys):
+        main(["ir", c_file, "--no-opt"])
+        raw = capsys.readouterr().out
+        main(["ir", c_file])
+        optimized = capsys.readouterr().out
+        # the raw form reloads `total` in the loop; the optimized form
+        # promotes it, so the loop body loses its sload
+        assert raw.count("sload [total]") > optimized.count("sload [total]")
+
+
+class TestSuite:
+    def test_unknown_program_rejected(self, capsys):
+        assert main(["suite", "nonesuch"]) == 2
+        assert "unknown workloads" in capsys.readouterr().err
+
+    def test_single_program(self, capsys):
+        assert main(["suite", "allroots"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 5: Total Operations" in out
+        assert "allroots" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_analysis_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "x.c", "--analysis", "magic"])

@@ -1,0 +1,102 @@
+"""Property-based tests for the interpreter's C arithmetic."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.interp import c_div, c_mod, wrap_int
+from repro.interp.machine import _binop, _unop
+from repro.ir.opcodes import Opcode
+
+int64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+nonzero64 = int64.filter(lambda v: v != 0)
+small_int = st.integers(min_value=-(2**30), max_value=2**30)
+
+
+class TestIntegerSemantics:
+    @given(int64)
+    def test_wrap_int_idempotent_in_range(self, v):
+        assert wrap_int(v) == v
+
+    @given(st.integers())
+    def test_wrap_int_range(self, v):
+        w = wrap_int(v)
+        assert -(2**63) <= w <= 2**63 - 1
+        assert (w - v) % (2**64) == 0
+
+    @given(int64, nonzero64)
+    def test_division_identity(self, a, b):
+        q = c_div(a, b)
+        r = c_mod(a, b)
+        assert wrap_int(q * b + r) == a
+
+    @given(int64, nonzero64)
+    def test_remainder_sign_follows_dividend(self, a, b):
+        r = c_mod(a, b)
+        if r != 0:
+            assert (r < 0) == (a < 0)
+        assert abs(r) < abs(b)
+
+    @given(small_int, small_int)
+    def test_add_sub_roundtrip(self, a, b):
+        s = _binop(Opcode.ADD, a, b)
+        assert _binop(Opcode.SUB, s, b) == a
+
+    @given(small_int)
+    def test_neg_involution(self, a):
+        assert _unop(Opcode.NEG, _unop(Opcode.NEG, a)) == a
+
+    @given(int64)
+    def test_not_involution(self, a):
+        assert _unop(Opcode.NOT, _unop(Opcode.NOT, a)) == a
+
+    @given(int64, int64)
+    def test_comparisons_are_boolean_and_consistent(self, a, b):
+        lt = _binop(Opcode.CMP_LT, a, b)
+        ge = _binop(Opcode.CMP_GE, a, b)
+        assert lt in (0, 1) and ge in (0, 1)
+        assert lt != ge
+        eq = _binop(Opcode.CMP_EQ, a, b)
+        ne = _binop(Opcode.CMP_NE, a, b)
+        assert eq != ne
+        assert (a == b) == bool(eq)
+
+    @given(int64, st.integers(min_value=0, max_value=63))
+    def test_shift_left_matches_masked_python(self, a, s):
+        assert _binop(Opcode.SHL, a, s) == wrap_int(a << s)
+
+    @given(int64, int64)
+    def test_bitwise_ops_match_python(self, a, b):
+        assert _binop(Opcode.AND, a, b) == a & b
+        assert _binop(Opcode.OR, a, b) == a | b
+        assert _binop(Opcode.XOR, a, b) == a ^ b
+
+    @given(small_int, small_int)
+    def test_mul_matches_python_in_range(self, a, b):
+        assert _binop(Opcode.MUL, a, b) == wrap_int(a * b)
+
+
+class TestFloatSemantics:
+    floats = st.floats(
+        allow_nan=False, allow_infinity=False, min_value=-1e12, max_value=1e12
+    )
+
+    @given(floats, floats)
+    def test_float_add_matches_python(self, a, b):
+        assert _binop(Opcode.ADD, a, b) == a + b
+
+    @given(floats)
+    def test_i2f_f2i_truncates(self, a):
+        truncated = _unop(Opcode.F2I, a)
+        assert truncated == wrap_int(int(a))
+
+    @given(small_int)
+    def test_int_to_float_exact_for_small(self, a):
+        assert _unop(Opcode.I2F, a) == float(a)
+
+    @given(floats, floats.filter(lambda v: abs(v) > 1e-9))
+    def test_float_div(self, a, b):
+        assert _binop(Opcode.DIV, a, b) == a / b
+
+    @given(floats)
+    def test_lnot(self, a):
+        assert _unop(Opcode.LNOT, a) == (1 if a == 0 else 0)

@@ -1,0 +1,99 @@
+"""Property-based tests for the promotion algorithm's invariants.
+
+Beyond the end-to-end differential tests, these check the Figure 1
+equations' structural properties on random programs:
+
+* PROMOTABLE is always disjoint from AMBIGUOUS and contained in EXPLICIT;
+* PROMOTABLE only contains scalar tags;
+* LIFT sets along a loop-nest path partition: a tag is lifted around at
+  most one loop on any ancestor chain;
+* promotability is monotone up the loop tree: if a tag is promotable in
+  a loop and referenced in the parent, it is either promotable in the
+  parent or ambiguous there.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis.loops import normalize_loops
+from repro.analysis.modref import run_modref
+from repro.frontend import compile_c
+from repro.opt.promotion import gather_block_info, solve_loop_equations
+from tests.props.test_differential_props import programs
+
+
+def _analyzed_functions(source):
+    module = compile_c(source)
+    run_modref(module)
+    for func in module.functions.values():
+        forest = normalize_loops(func)
+        if not forest.loops:
+            continue
+        explicit, ambiguous = gather_block_info(
+            func, frozenset(module.memory_tags())
+        )
+        sets = solve_loop_equations(func, forest, explicit, ambiguous)
+        yield func, forest, sets
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(programs())
+def test_figure1_set_invariants(source):
+    for func, forest, sets in _analyzed_functions(source):
+        for loop in forest.loops:
+            s = sets[loop.header]
+            assert s.promotable <= s.explicit
+            assert not (s.promotable & s.ambiguous)
+            assert all(t.is_scalar for t in s.promotable)
+            assert s.lift <= s.promotable
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(programs())
+def test_lift_unique_along_ancestor_chains(source):
+    for func, forest, sets in _analyzed_functions(source):
+        for loop in forest.loops:
+            chain = []
+            cursor = loop
+            while cursor is not None:
+                chain.append(cursor)
+                cursor = cursor.parent
+            for tag in sets[loop.header].promotable:
+                lifted_at = [
+                    ancestor.header
+                    for ancestor in chain
+                    if tag in sets[ancestor.header].lift
+                ]
+                assert len(lifted_at) == 1, (
+                    f"{tag} lifted at {lifted_at} on chain "
+                    f"{[a.header for a in chain]}"
+                )
+
+
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(programs())
+def test_promotability_monotone_up_the_nest(source):
+    for func, forest, sets in _analyzed_functions(source):
+        for loop in forest.loops:
+            if loop.parent is None:
+                continue
+            parent_sets = sets[loop.parent.header]
+            for tag in sets[loop.header].promotable:
+                assert (
+                    tag in parent_sets.promotable
+                    or tag in parent_sets.ambiguous
+                    or tag not in parent_sets.explicit
+                ) and (
+                    tag in parent_sets.explicit
+                ), "a tag explicit in an inner loop is explicit in the parent"

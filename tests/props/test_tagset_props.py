@@ -1,0 +1,87 @@
+"""Property-based tests for TagSet algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.tags import Tag, TagKind, TagSet
+
+_TAG_POOL = [
+    Tag(f"t{i}", TagKind.GLOBAL, is_scalar=(i % 3 != 0)) for i in range(8)
+]
+
+
+def tag_sets() -> st.SearchStrategy[TagSet]:
+    finite = st.lists(st.sampled_from(_TAG_POOL), max_size=6).map(
+        TagSet.from_iterable
+    )
+    return st.one_of(finite, st.just(TagSet.universe()))
+
+
+class TestLatticeLaws:
+    @given(tag_sets(), tag_sets())
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(tag_sets(), tag_sets(), tag_sets())
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(tag_sets())
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(tag_sets())
+    def test_empty_is_identity(self, a):
+        assert a.union(TagSet.empty()) == a
+
+    @given(tag_sets())
+    def test_universe_absorbs(self, a):
+        assert a.union(TagSet.universe()).universal
+
+    @given(tag_sets(), tag_sets())
+    def test_intersect_commutative(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(tag_sets())
+    def test_universe_is_intersect_identity(self, a):
+        assert a.intersect(TagSet.universe()) == a
+
+    @given(tag_sets(), tag_sets())
+    def test_intersection_subset_of_union(self, a, b):
+        inter = a.intersect(b)
+        union = a.union(b)
+        if not inter.universal and not union.universal:
+            assert set(inter) <= set(union)
+
+
+class TestMembershipConsistency:
+    @given(tag_sets(), tag_sets(), st.sampled_from(_TAG_POOL))
+    def test_union_membership(self, a, b, tag):
+        assert (tag in a.union(b)) == (tag in a or tag in b)
+
+    @given(tag_sets(), tag_sets(), st.sampled_from(_TAG_POOL))
+    def test_intersect_membership(self, a, b, tag):
+        assert (tag in a.intersect(b)) == (tag in a and tag in b)
+
+    @given(tag_sets(), tag_sets())
+    def test_overlaps_iff_common_member(self, a, b):
+        if a.universal or b.universal:
+            return
+        expected = any(t in b for t in a)
+        assert a.overlaps(b) == expected
+
+    @given(tag_sets(), tag_sets())
+    def test_overlaps_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(tag_sets())
+    def test_materialize_is_noop_on_finite(self, a):
+        if not a.universal:
+            assert a.materialize(_TAG_POOL) == a
+
+    @given(st.lists(st.sampled_from(_TAG_POOL), max_size=6))
+    def test_without_removes(self, tags):
+        base = TagSet.from_iterable(_TAG_POOL)
+        removed = base.without(tags)
+        for tag in tags:
+            assert tag not in removed
