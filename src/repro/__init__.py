@@ -9,6 +9,8 @@ Public API, top to bottom:
 * :func:`repro.pipeline.paper_variants` — the four cells of Figures 5-7;
 * :func:`repro.harness.run_suite` / :func:`repro.harness.format_figure`
   — regenerate the paper's tables over the 14-program suite;
+* :mod:`repro.runner` — the parallel/cached/instrumented experiment
+  scheduler behind the suite (see docs/RUNNER.md);
 * :mod:`repro.opt.promotion` — the promotion algorithm itself, usable on
   hand-built IL (see the Figure 2 tests).
 """

@@ -73,23 +73,50 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from .runner import telemetry
+
     source = Path(args.file).read_text()
     cells = {}
+    trace_groups = {}
     print(f"{'variant':<18} {'total ops':>12} {'loads':>10} {'stores':>10}")
     print("-" * 54)
     for name, options in paper_variants(
         pointer_promotion=args.pointer_promotion
     ).items():
-        cell = compile_and_run(
-            source,
-            options,
-            name=Path(args.file).stem,
-            machine_options=MachineOptions(max_steps=args.max_steps),
-        )
+        if args.trace:
+            with telemetry.tracing(name) as trace:
+                cell = compile_and_run(
+                    source,
+                    options,
+                    name=Path(args.file).stem,
+                    machine_options=MachineOptions(max_steps=args.max_steps),
+                )
+            trace_groups[name] = trace.events
+        else:
+            cell = compile_and_run(
+                source,
+                options,
+                name=Path(args.file).stem,
+                machine_options=MachineOptions(max_steps=args.max_steps),
+            )
         cells[name] = cell
         c = cell.counters
         print(f"{name:<18} {c.total_ops:>12} {c.loads:>10} {c.stores:>10}")
     check_outputs_agree(cells)
+    if args.json:
+        payload = {
+            name: {
+                "counters": cell.counters.as_dict(),
+                "exit_code": cell.exit_code,
+            }
+            for name, cell in cells.items()
+        }
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+    if args.trace:
+        telemetry.write_chrome_trace(args.trace, trace_groups)
+        print(telemetry.format_span_summary(trace_groups), file=sys.stderr)
     print()
     print("program output (identical across variants):")
     sys.stdout.write(cells["modref/promo"].output)
@@ -109,8 +136,10 @@ def cmd_ir(args: argparse.Namespace) -> int:
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
-    from .harness import format_figure, run_program_matrix
-    from .workloads import get_workload, workload_names
+    from .harness import METRICS, format_figure
+    from .runner import ResultCache, telemetry
+    from .runner.report import run_suite_report, write_suite_json
+    from .workloads import workload_names
 
     names = args.programs or workload_names()
     unknown = sorted(set(names) - set(workload_names()))
@@ -118,14 +147,53 @@ def cmd_suite(args: argparse.Namespace) -> int:
         print(f"unknown workloads: {unknown}", file=sys.stderr)
         print(f"available: {workload_names()}", file=sys.stderr)
         return 2
-    results = {}
-    for name in names:
-        print(f"running {name} (4 variants)...", file=sys.stderr)
-        results[name] = run_program_matrix(get_workload(name))
-    for metric in ("total_ops", "stores", "loads"):
-        print(format_figure(results, metric))
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.clear_cache and cache is not None:
+        removed = cache.clear()
+        print(f"cache cleared ({removed} cells)", file=sys.stderr)
+
+    def progress(spec, outcome) -> None:
+        if outcome.ok:
+            status = "cached" if outcome.from_cache else f"{outcome.seconds:.2f}s"
+        else:
+            status = f"{outcome.kind.upper()}: {outcome.message}"
+        print(f"  {spec.workload:<12} {spec.variant:<16} {status}", file=sys.stderr)
+
+    report = run_suite_report(
+        names,
+        pointer_promotion=args.pointer_promotion,
+        max_steps=args.max_steps,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+        collect_trace=bool(args.trace),
+        progress=progress,
+    )
+    for metric in METRICS:
+        print(format_figure(report.results, metric))
         print()
-    return 0
+    for failure in report.failures:
+        print(
+            f"FAILED {failure.workload}[{failure.variant}]: {failure.kind} "
+            f"after {failure.attempts} attempt(s): {failure.message}",
+            file=sys.stderr,
+        )
+    for problem in report.disagreements:
+        print(f"DISAGREEMENT {problem}", file=sys.stderr)
+    if cache is not None:
+        print(
+            f"cache: {report.cache_hits} hits, {report.cache_misses} misses",
+            file=sys.stderr,
+        )
+    print(f"suite: {report.seconds:.2f}s with {report.jobs} job(s)", file=sys.stderr)
+    if args.json:
+        write_suite_json(args.json, report)
+    if args.trace:
+        groups = report.trace_groups()
+        telemetry.write_chrome_trace(args.trace, groups)
+        print(telemetry.format_span_summary(groups), file=sys.stderr)
+    return report.exit_code()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,6 +213,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("file")
     p_cmp.add_argument("--max-steps", type=int, default=500_000_000)
     p_cmp.add_argument("--pointer-promotion", action="store_true")
+    p_cmp.add_argument("--json", metavar="FILE",
+                       help="write per-variant counters as JSON")
+    p_cmp.add_argument("--trace", metavar="FILE",
+                       help="write a Chrome-trace JSON of per-pass timings")
     p_cmp.set_defaults(func=cmd_compare)
 
     p_ir = sub.add_parser("ir", help="print the IL for a C file")
@@ -156,6 +228,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_suite = sub.add_parser("suite", help="regenerate Figure 5/6/7 rows")
     p_suite.add_argument("programs", nargs="*")
+    p_suite.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = inline, serial)")
+    p_suite.add_argument("--max-steps", type=int, default=50_000_000)
+    p_suite.add_argument("--pointer-promotion", action="store_true",
+                         help="enable section 3.3 pointer-based promotion")
+    p_suite.add_argument("--timeout", type=float, default=None,
+                         help="per-cell seconds budget (jobs > 1 only)")
+    p_suite.add_argument("--no-cache", action="store_true",
+                         help="always recompute, don't touch the result cache")
+    p_suite.add_argument("--cache-dir", default=".repro-cache",
+                         help="result cache location (default: .repro-cache)")
+    p_suite.add_argument("--clear-cache", action="store_true",
+                         help="invalidate every cached cell before running")
+    p_suite.add_argument("--json", metavar="FILE",
+                         help="write the machine-readable suite.json")
+    p_suite.add_argument("--trace", metavar="FILE",
+                         help="write a Chrome-trace JSON of per-pass timings")
     p_suite.set_defaults(func=cmd_suite)
 
     return parser

@@ -21,7 +21,7 @@ from ..pipeline import (
     paper_variants,
 )
 from ..regalloc import RegAllocOptions
-from ..workloads import Workload, all_workloads, get_workload
+from ..workloads import Workload, get_workload
 
 #: the metrics the paper reports, figure by figure
 METRICS = ("total_ops", "stores", "loads")
@@ -98,17 +98,44 @@ def run_suite(
     names: list[str] | None = None,
     pointer_promotion: bool = False,
     regalloc: RegAllocOptions | None = None,
+    *,
+    jobs: int = 1,
+    max_steps: int = 50_000_000,
+    cache=None,
+    timeout: float | None = None,
+    retries: int = 1,
 ) -> dict[str, ProgramResult]:
-    """The full suite (or a named subset), one matrix per program."""
-    workloads = (
-        [get_workload(n) for n in names] if names is not None else all_workloads()
+    """The full suite (or a named subset), one matrix per program.
+
+    Delegates to the :mod:`repro.runner` scheduler: ``jobs`` fans the
+    (program, variant) cells out over worker processes and ``cache``
+    (a :class:`repro.runner.ResultCache`) reuses prior results.  Any cell
+    failure or output disagreement raises :class:`~repro.errors.ReproError`
+    — callers that want per-cell failures instead should use
+    :func:`repro.runner.run_suite_report` directly.
+    """
+    from ..errors import ReproError
+    from ..runner.report import run_suite_report
+
+    report = run_suite_report(
+        names,
+        pointer_promotion=pointer_promotion,
+        regalloc=regalloc,
+        max_steps=max_steps,
+        jobs=jobs,
+        cache=cache,
+        timeout=timeout,
+        retries=retries,
     )
-    return {
-        w.name: run_program_matrix(
-            w, pointer_promotion=pointer_promotion, regalloc=regalloc
+    if report.disagreements:
+        raise ReproError("; ".join(report.disagreements))
+    if report.failures:
+        failed = ", ".join(
+            f"{f.workload}[{f.variant}]: {f.kind}: {f.message}"
+            for f in report.failures
         )
-        for w in workloads
-    }
+        raise ReproError(f"suite cells failed: {failed}")
+    return report.results
 
 
 def figure_rows(

@@ -43,6 +43,7 @@ from .opt.pre import run_pre_module
 from .opt.promotion import PromotionOptions, PromotionReport, promote_module
 from .opt.valuenum import run_value_numbering_module
 from .regalloc import RegAllocOptions, RegAllocReport, allocate_module
+from .runner.telemetry import span
 
 
 class Analysis(enum.Enum):
@@ -104,59 +105,75 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
 
     # -- interprocedural analysis -----------------------------------------
     if options.analysis is Analysis.MODREF:
-        result.modref = run_modref(module)
-        refine_memory_ops(module, result.modref.sccs)
+        with span("modref", module):
+            result.modref = run_modref(module)
+            refine_memory_ops(module, result.modref.sccs)
     elif options.analysis is Analysis.POINTER:
         # the paper's sequencing: MOD/REF to seed, points-to to sharpen
         # pointer-op tag sets, MOD/REF repeated on the sharper sets
-        first = run_modref(module)
-        points = run_points_to(module)
-        apply_points_to(module, points, first.visible)
-        result.modref = run_modref(module)
-        refine_memory_ops(module, result.modref.sccs)
+        with span("modref", module):
+            first = run_modref(module)
+        with span("points_to", module):
+            points = run_points_to(module)
+            apply_points_to(module, points, first.visible)
+        with span("modref", module):
+            result.modref = run_modref(module)
+            refine_memory_ops(module, result.modref.sccs)
     checkpoint()
 
     # -- early scalar optimizations ------------------------------------------
     if options.clean:
-        clean_module(module)
+        with span("clean", module):
+            clean_module(module)
     if options.value_numbering:
-        run_value_numbering_module(module)
+        with span("value_numbering", module):
+            run_value_numbering_module(module)
     if options.constant_propagation:
-        run_sccp_module(module)
+        with span("sccp", module):
+            run_sccp_module(module)
     checkpoint()
 
     # -- register promotion (early, per section 3) ----------------------------
     if options.promotion:
-        result.promotion_reports = promote_module(
-            module, options.promotion_options
-        )
+        with span("promotion", module):
+            result.promotion_reports = promote_module(
+                module, options.promotion_options
+            )
         checkpoint()
 
     # -- loop and straight-line redundancy removal ---------------------------
     if options.licm:
-        run_licm_module(module)
+        with span("licm", module):
+            run_licm_module(module)
         checkpoint()
     if options.pointer_promotion:
-        result.pointer_promotion_reports = promote_pointers_module(module)
+        with span("pointer_promotion", module):
+            result.pointer_promotion_reports = promote_pointers_module(module)
         checkpoint()
     if options.pre:
-        run_pre_module(module)
+        with span("pre", module):
+            run_pre_module(module)
     if options.value_numbering:
-        run_value_numbering_module(module)
+        with span("value_numbering", module):
+            run_value_numbering_module(module)
     if options.dce:
-        run_dce_module(module)
+        with span("dce", module):
+            run_dce_module(module)
     if options.clean:
-        clean_module(module)
+        with span("clean", module):
+            clean_module(module)
     checkpoint()
 
     # -- register allocation ---------------------------------------------------
     if options.run_regalloc:
-        result.regalloc_reports = allocate_module(module, options.regalloc)
-        if options.dce:
-            run_dce_module(module)
-        if options.clean:
-            clean_module(module)
-    verify_module(module)
+        with span("regalloc", module):
+            result.regalloc_reports = allocate_module(module, options.regalloc)
+            if options.dce:
+                run_dce_module(module)
+            if options.clean:
+                clean_module(module)
+    with span("verify", module):
+        verify_module(module)
     return result
 
 
@@ -167,8 +184,10 @@ def compile_source(
     defines: dict[str, str] | None = None,
 ) -> CompileResult:
     """Front end + :func:`compile_module`."""
-    module = compile_c(source, name=name, defines=defines)
-    return compile_module(module, options)
+    with span("parse"):
+        module = compile_c(source, name=name, defines=defines)
+    with span("optimize", module):
+        return compile_module(module, options)
 
 
 @dataclass
@@ -179,7 +198,9 @@ class ExperimentCell:
     counters: Counters
     exit_code: int
     output: str
-    compile_result: CompileResult
+    #: absent for cells that crossed a process or cache boundary (the IR
+    #: does not travel; counters/output/exit code are the experiment data)
+    compile_result: CompileResult | None = None
 
 
 def compile_and_run(
@@ -190,8 +211,10 @@ def compile_and_run(
     machine_options: MachineOptions | None = None,
 ) -> ExperimentCell:
     options = options or PipelineOptions()
-    compiled = compile_source(source, options, name=name, defines=defines)
-    run: RunResult = run_module(compiled.module, options=machine_options)
+    with span("compile", variant=options.variant_name()):
+        compiled = compile_source(source, options, name=name, defines=defines)
+    with span("execute", variant=options.variant_name()):
+        run: RunResult = run_module(compiled.module, options=machine_options)
     return ExperimentCell(
         variant=options.variant_name(),
         counters=run.counters,

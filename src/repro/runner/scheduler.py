@@ -1,0 +1,321 @@
+"""Job scheduler: fan experiment cells out over a process pool.
+
+Each ``(workload, variant)`` cell is an independent job — it carries its
+own source text, so injected or synthetic workloads run in worker
+processes without any registry coordination.  The scheduler provides:
+
+* **parallelism** — ``jobs > 1`` executes cells on a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; ``jobs <= 1`` runs
+  inline in-process (no pickling, deterministic, and the full
+  ``CompileResult`` stays available to the caller via the slim result's
+  ``compile_result`` field);
+* **graceful degradation** — a cell that raises or times out yields a
+  structured :class:`CellFailure` instead of killing the suite; output
+  agreement is checked *after* the join, over succeeded cells only (see
+  :mod:`repro.runner.report`);
+* **bounded retries** — crashed cells (including a worker process dying
+  and taking the pool with it) are resubmitted to a fresh pool up to
+  ``retries`` extra times;
+* **caching** — when a :class:`~repro.runner.cache.ResultCache` is given,
+  hits skip execution entirely and successes are written back;
+* **telemetry** — with ``collect_trace=True`` every cell records per-pass
+  spans (see :mod:`repro.runner.telemetry`) that travel back to the parent
+  as plain dicts for merging into one Chrome trace.
+
+Timeouts are enforced at the join: the parent waits at most ``timeout``
+seconds per cell, so a cell is guaranteed *at least* that budget (cells
+joined later get more, since all cells run concurrently).  A timed-out
+worker is abandoned, not killed — the interpreter's ``max_steps`` fuel
+bounds how long it can linger.  Inline execution cannot be preempted, so
+``timeout`` only applies when ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Callable, Union
+
+from ..errors import ReproError
+from ..interp import Counters, MachineOptions
+from ..pipeline import CompileResult, PipelineOptions, compile_and_run
+from . import telemetry
+from .cache import ResultCache, cell_key
+
+__all__ = [
+    "CellData",
+    "CellFailure",
+    "CellOutcome",
+    "CellSpec",
+    "execute_cell",
+    "run_cells",
+    "spec_cache_key",
+]
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One schedulable job: compile ``source`` with ``options`` and run it."""
+
+    workload: str
+    variant: str
+    source: str
+    options: PipelineOptions
+    machine: MachineOptions
+    defines: tuple[tuple[str, str], ...] = ()
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.workload, self.variant)
+
+
+@dataclass
+class CellData:
+    """A successful cell — slim and picklable (no IR attached)."""
+
+    workload: str
+    variant: str
+    counters: Counters
+    exit_code: int
+    output: str
+    seconds: float
+    from_cache: bool = False
+    trace_events: list[dict] = field(default_factory=list)
+    #: populated only for inline (jobs<=1, cache-miss) execution
+    compile_result: CompileResult | None = None
+
+    ok = True
+
+    def cache_payload(self) -> dict:
+        return {
+            "counters": self.counters.as_dict(),
+            "exit_code": self.exit_code,
+            "output": self.output,
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_cache_payload(cls, spec: CellSpec, payload: dict) -> "CellData":
+        return cls(
+            workload=spec.workload,
+            variant=spec.variant,
+            counters=Counters(**payload["counters"]),
+            exit_code=int(payload["exit_code"]),
+            output=payload["output"],
+            seconds=float(payload["seconds"]),
+            from_cache=True,
+        )
+
+
+@dataclass
+class CellFailure:
+    """A cell that crashed or timed out; the suite keeps going."""
+
+    workload: str
+    variant: str
+    kind: str  # "crash" | "timeout"
+    message: str
+    attempts: int
+    seconds: float = 0.0
+
+    ok = False
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "seconds": round(self.seconds, 6),
+        }
+
+
+CellOutcome = Union[CellData, CellFailure]
+
+
+def execute_cell(
+    spec: CellSpec,
+    collect_trace: bool = False,
+    keep_compile_result: bool = False,
+) -> CellData:
+    """Compile and run one cell (runs in the worker process).
+
+    ``keep_compile_result`` attaches the full IR-bearing
+    :class:`CompileResult`; pooled runs leave it off so only the slim
+    counters/output payload crosses the process boundary.
+    """
+    started = time.perf_counter()
+    if collect_trace:
+        with telemetry.tracing(f"{spec.workload}:{spec.variant}") as trace:
+            cell = _compile_and_run(spec)
+        events = [event.as_dict() for event in trace.events]
+    else:
+        cell = _compile_and_run(spec)
+        events = []
+    return CellData(
+        workload=spec.workload,
+        variant=spec.variant,
+        counters=cell.counters,
+        exit_code=cell.exit_code,
+        output=cell.output,
+        seconds=time.perf_counter() - started,
+        trace_events=events,
+        compile_result=cell.compile_result if keep_compile_result else None,
+    )
+
+
+def _compile_and_run(spec: CellSpec):
+    return compile_and_run(
+        spec.source,
+        spec.options,
+        name=spec.workload,
+        defines=dict(spec.defines) or None,
+        machine_options=spec.machine,
+    )
+
+
+def spec_cache_key(spec: CellSpec) -> str:
+    return cell_key(spec.source, dict(spec.defines), spec.options, spec.machine)
+
+
+ProgressFn = Callable[[CellSpec, CellOutcome], None]
+
+
+def run_cells(
+    specs: list[CellSpec],
+    *,
+    jobs: int = 1,
+    timeout: float | None = None,
+    retries: int = 1,
+    cache: ResultCache | None = None,
+    collect_trace: bool = False,
+    progress: ProgressFn | None = None,
+) -> dict[tuple[str, str], CellOutcome]:
+    """Run every cell, returning an outcome per ``(workload, variant)``."""
+    outcomes: dict[tuple[str, str], CellOutcome] = {}
+    by_key = {spec.key: spec for spec in specs}
+    if len(by_key) != len(specs):
+        raise ValueError("duplicate (workload, variant) cells in schedule")
+
+    def finish(spec: CellSpec, outcome: CellOutcome) -> None:
+        outcomes[spec.key] = outcome
+        if (
+            cache is not None
+            and isinstance(outcome, CellData)
+            and not outcome.from_cache
+        ):
+            cache.put(spec_cache_key(spec), outcome.cache_payload())
+        if progress is not None:
+            progress(spec, outcome)
+
+    pending: list[CellSpec] = []
+    for spec in specs:
+        payload = cache.get(spec_cache_key(spec)) if cache is not None else None
+        if payload is not None:
+            finish(spec, CellData.from_cache_payload(spec, payload))
+        else:
+            pending.append(spec)
+
+    if jobs <= 1:
+        for spec in pending:
+            finish(spec, _run_inline(spec, retries, collect_trace))
+    else:
+        _run_pooled(pending, jobs, timeout, retries, collect_trace, finish)
+    return outcomes
+
+
+def _run_inline(spec: CellSpec, retries: int, collect_trace: bool) -> CellOutcome:
+    attempts = 0
+    started = time.perf_counter()
+    while True:
+        attempts += 1
+        try:
+            return execute_cell(spec, collect_trace, keep_compile_result=True)
+        except ReproError as error:
+            last = f"{type(error).__name__}: {error}"
+        except Exception as error:  # genuinely unexpected: keep the trace
+            last = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+        if attempts > retries:
+            return CellFailure(
+                workload=spec.workload,
+                variant=spec.variant,
+                kind="crash",
+                message=last,
+                attempts=attempts,
+                seconds=time.perf_counter() - started,
+            )
+
+
+def _run_pooled(
+    pending: list[CellSpec],
+    jobs: int,
+    timeout: float | None,
+    retries: int,
+    collect_trace: bool,
+    finish: Callable[[CellSpec, CellOutcome], None],
+) -> None:
+    attempts: dict[tuple[str, str], int] = {spec.key: 0 for spec in pending}
+    round_specs = list(pending)
+    while round_specs:
+        retry_specs: list[CellSpec] = []
+        abandoned_workers = False
+        pool = ProcessPoolExecutor(max_workers=min(jobs, len(round_specs)))
+        futures = {
+            spec.key: pool.submit(execute_cell, spec, collect_trace)
+            for spec in round_specs
+        }
+        for spec in round_specs:
+            future = futures[spec.key]
+            attempts[spec.key] += 1
+            started = time.perf_counter()
+            try:
+                finish(spec, future.result(timeout=timeout))
+                continue
+            except FutureTimeoutError:
+                future.cancel()
+                abandoned_workers = True
+                finish(
+                    spec,
+                    CellFailure(
+                        workload=spec.workload,
+                        variant=spec.variant,
+                        kind="timeout",
+                        message=f"exceeded {timeout:.3g}s cell budget",
+                        attempts=attempts[spec.key],
+                        seconds=time.perf_counter() - started,
+                    ),
+                )
+                continue
+            except BrokenExecutor as error:
+                # the worker process died (segfault, OOM-kill); the whole
+                # pool is unusable, so every unfinished sibling retries in
+                # a fresh pool next round
+                message = f"worker process died: {error}"
+            except ReproError as error:
+                message = f"{type(error).__name__}: {error}"
+            except Exception as error:
+                message = "".join(
+                    traceback.format_exception_only(type(error), error)
+                ).strip()
+            if attempts[spec.key] <= retries:
+                retry_specs.append(spec)
+            else:
+                finish(
+                    spec,
+                    CellFailure(
+                        workload=spec.workload,
+                        variant=spec.variant,
+                        kind="crash",
+                        message=message,
+                        attempts=attempts[spec.key],
+                        seconds=time.perf_counter() - started,
+                    ),
+                )
+        # don't block the suite on abandoned (timed-out) workers; their
+        # max_steps fuel bounds how long they can run on
+        pool.shutdown(wait=not abandoned_workers, cancel_futures=True)
+        round_specs = retry_specs

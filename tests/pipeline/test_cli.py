@@ -51,6 +51,26 @@ class TestCompare:
             assert variant in out
         assert "total=45" in out
 
+    def test_compare_json_dump(self, c_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "cells.json"
+        assert main(["compare", c_file, "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {
+            "modref/nopromo", "modref/promo", "pointer/nopromo", "pointer/promo"
+        }
+        assert payload["modref/promo"]["counters"]["total_ops"] > 0
+
+    def test_compare_trace_export(self, c_file, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["compare", c_file, "--trace", str(out)]) == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name") == "promotion" for e in events)
+        assert "span" in capsys.readouterr().err
+
 
 class TestIR:
     def test_ir_prints_module(self, c_file, capsys):
@@ -75,10 +95,60 @@ class TestSuite:
         assert "unknown workloads" in capsys.readouterr().err
 
     def test_single_program(self, capsys):
-        assert main(["suite", "allroots"]) == 0
+        assert main(["suite", "allroots", "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "Figure 5: Total Operations" in out
-        assert "allroots" in out
+
+    def test_parallel_jobs_and_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "suite.json"
+        code = main(
+            ["suite", "allroots", "tsp", "--jobs", "2", "--no-cache",
+             "--json", str(out)]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        assert payload["jobs"] == 2
+        assert set(payload["programs"]) == {"allroots", "tsp"}
+        assert "Figure 7: Loads" in capsys.readouterr().out
+
+    def test_cache_round_trip(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        args = ["suite", "allroots", "--cache-dir", cache_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "misses" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "cache: 4 hits" in warm.err
+        assert cold.out == warm.out  # byte-identical figures from cache
+        assert main(args + ["--clear-cache"]) == 0
+        assert "cache cleared (4 cells)" in capsys.readouterr().err
+
+    def test_trace_export(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "trace.json"
+        code = main(["suite", "allroots", "--no-cache", "--trace", str(out)])
+        assert code == 0
+        events = json.loads(out.read_text())["traceEvents"]
+        assert any(e.get("name") == "promotion" for e in events)
+
+    def test_max_steps_flag_is_enforced(self, capsys):
+        # an absurdly small budget must surface as a cell failure, not a
+        # crash of the whole suite
+        code = main(["suite", "allroots", "--no-cache", "--max-steps", "10"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "exceeded 10 executed operations" in err
+
+    def test_pointer_promotion_flag_accepted(self, capsys):
+        assert main(["suite", "allroots", "--no-cache",
+                     "--pointer-promotion"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
 
 
 class TestParser:

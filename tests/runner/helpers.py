@@ -1,0 +1,46 @@
+"""Shared fixtures for the runner tests: tiny cell specs that compile in
+milliseconds, plus deliberately broken ones."""
+
+from __future__ import annotations
+
+from repro.interp import MachineOptions
+from repro.pipeline import PipelineOptions
+from repro.runner.scheduler import CellSpec
+
+GOOD_SOURCE = r"""
+int total;
+int main(void) {
+    int i;
+    for (i = 0; i < 25; i++) { total += i; }
+    printf("total=%d\n", total);
+    return 0;
+}
+"""
+
+#: unparseable — fails in the front end, deterministically
+CRASH_SOURCE = "int main( {"
+
+#: runs forever; only the step limit or a scheduler timeout stops it
+SPIN_SOURCE = r"""
+int main(void) {
+    int i;
+    for (i = 0; i >= 0; i++) { i = i - 1; i = i + 1; }
+    return 0;
+}
+"""
+
+
+def make_spec(
+    workload: str = "good",
+    variant: str = "modref/promo",
+    source: str = GOOD_SOURCE,
+    max_steps: int = 1_000_000,
+    **options,
+) -> CellSpec:
+    return CellSpec(
+        workload=workload,
+        variant=variant,
+        source=source,
+        options=PipelineOptions(**options),
+        machine=MachineOptions(max_steps=max_steps),
+    )

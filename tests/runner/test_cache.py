@@ -1,0 +1,102 @@
+"""Result cache: key discipline, hit/miss behaviour, and invalidation."""
+
+from dataclasses import replace
+
+from repro.interp import MachineOptions
+from repro.pipeline import Analysis, PipelineOptions
+from repro.runner.cache import ResultCache, cell_key
+from repro.runner.scheduler import CellData, CellFailure, run_cells, spec_cache_key
+
+from tests.runner.helpers import CRASH_SOURCE, GOOD_SOURCE, make_spec
+
+
+class TestCellKey:
+    def test_key_is_deterministic(self):
+        a = cell_key(GOOD_SOURCE, {}, PipelineOptions(), MachineOptions())
+        b = cell_key(GOOD_SOURCE, {}, PipelineOptions(), MachineOptions())
+        assert a == b
+        assert len(a) == 64
+
+    def test_key_covers_every_input(self):
+        base = cell_key(GOOD_SOURCE, {}, PipelineOptions(), MachineOptions())
+        assert base != cell_key(
+            GOOD_SOURCE + " ", {}, PipelineOptions(), MachineOptions()
+        )
+        assert base != cell_key(
+            GOOD_SOURCE, {"N": "9"}, PipelineOptions(), MachineOptions()
+        )
+        assert base != cell_key(
+            GOOD_SOURCE,
+            {},
+            PipelineOptions(analysis=Analysis.POINTER),
+            MachineOptions(),
+        )
+        assert base != cell_key(
+            GOOD_SOURCE, {}, PipelineOptions(), MachineOptions(max_steps=7)
+        )
+        assert base != cell_key(
+            GOOD_SOURCE, {}, PipelineOptions(), MachineOptions(), schema_version=99
+        )
+
+    def test_key_covers_nested_options(self):
+        options = PipelineOptions()
+        tweaked = replace(
+            options, regalloc=replace(options.regalloc, num_registers=8)
+        )
+        assert cell_key(GOOD_SOURCE, {}, options, MachineOptions()) != cell_key(
+            GOOD_SOURCE, {}, tweaked, MachineOptions()
+        )
+
+
+class TestResultCache:
+    def test_warm_run_matches_cold_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cold = run_cells([spec], jobs=1, cache=cache)[spec.key]
+        assert not cold.from_cache
+        assert cache.misses == 1 and cache.hits == 0
+
+        warm = run_cells([spec], jobs=1, cache=cache)[spec.key]
+        assert isinstance(warm, CellData)
+        assert warm.from_cache
+        assert cache.hits == 1
+        assert warm.counters == cold.counters
+        assert warm.output == cold.output
+        assert warm.exit_code == cold.exit_code
+
+    def test_failures_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        bad = make_spec(workload="crasher", source=CRASH_SOURCE)
+        first = run_cells([bad], jobs=1, retries=0, cache=cache)[bad.key]
+        assert isinstance(first, CellFailure)
+        assert len(cache) == 0
+        second = run_cells([bad], jobs=1, retries=0, cache=cache)[bad.key]
+        assert isinstance(second, CellFailure)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        run_cells([spec], jobs=1, cache=cache)
+        path = cache.path_for(spec_cache_key(spec))
+        path.write_text("{ not json")
+        again = run_cells([spec], jobs=1, cache=cache)[spec.key]
+        assert not again.from_cache
+        assert again.ok
+
+    def test_clear_invalidates_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        run_cells([spec], jobs=1, cache=cache)
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+        rerun = run_cells([spec], jobs=1, cache=cache)[spec.key]
+        assert not rerun.from_cache
+
+    def test_cache_shared_across_job_counts(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cold = run_cells([spec], jobs=2, cache=cache)[spec.key]
+        warm = run_cells([spec], jobs=1, cache=cache)[spec.key]
+        assert warm.from_cache
+        assert warm.counters == cold.counters

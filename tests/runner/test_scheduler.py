@@ -1,0 +1,98 @@
+"""Scheduler behaviour: parallel fan-out, graceful degradation, retries,
+timeouts, and exact parity with serial execution."""
+
+import pytest
+
+from repro.harness import run_suite
+from repro.runner.scheduler import CellData, CellFailure, run_cells
+
+from tests.runner.helpers import CRASH_SOURCE, SPIN_SOURCE, make_spec
+
+
+class TestInline:
+    def test_single_cell_succeeds(self):
+        spec = make_spec()
+        outcomes = run_cells([spec], jobs=1)
+        data = outcomes[spec.key]
+        assert isinstance(data, CellData)
+        assert data.output == "total=300\n"
+        assert data.exit_code == 0
+        assert data.counters.total_ops > 0
+        # inline execution keeps the IR-bearing compile result
+        assert data.compile_result is not None
+
+    def test_crash_degrades_to_failure(self):
+        bad = make_spec(workload="crasher", source=CRASH_SOURCE)
+        good = make_spec()
+        outcomes = run_cells([bad, good], jobs=1, retries=0)
+        failure = outcomes[bad.key]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "crash"
+        assert "parse error" in failure.message
+        assert failure.attempts == 1
+        assert outcomes[good.key].ok
+
+    def test_retries_are_bounded(self):
+        bad = make_spec(workload="crasher", source=CRASH_SOURCE)
+        outcomes = run_cells([bad], jobs=1, retries=2)
+        assert outcomes[bad.key].attempts == 3
+
+    def test_duplicate_cells_rejected(self):
+        spec = make_spec()
+        with pytest.raises(ValueError, match="duplicate"):
+            run_cells([spec, spec], jobs=1)
+
+
+class TestPooled:
+    def test_crash_does_not_abort_siblings(self):
+        bad = make_spec(workload="crasher", source=CRASH_SOURCE)
+        good = make_spec()
+        outcomes = run_cells([bad, good], jobs=2, retries=1)
+        failure = outcomes[bad.key]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "crash"
+        assert failure.attempts == 2
+        data = outcomes[good.key]
+        assert isinstance(data, CellData)
+        assert data.output == "total=300\n"
+        # pooled results are slim: no IR crosses the process boundary
+        assert data.compile_result is None
+
+    def test_timeout_yields_structured_failure(self):
+        # SPIN_SOURCE burns its 1M-step fuel in ~1s; the 0.2s budget
+        # expires first and the suite moves on without waiting
+        slow = make_spec(workload="spinner", source=SPIN_SOURCE)
+        good = make_spec()
+        outcomes = run_cells([slow, good], jobs=2, timeout=0.2, retries=1)
+        failure = outcomes[slow.key]
+        assert isinstance(failure, CellFailure)
+        assert failure.kind == "timeout"
+        assert "budget" in failure.message
+        assert outcomes[good.key].ok
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        bad = make_spec(workload="crasher", source=CRASH_SOURCE)
+        good = make_spec()
+        run_cells(
+            [bad, good],
+            jobs=2,
+            retries=0,
+            progress=lambda spec, outcome: seen.append((spec.key, outcome.ok)),
+        )
+        assert sorted(seen) == [(bad.key, False), (good.key, True)]
+
+
+class TestSerialParallelParity:
+    def test_two_workloads_match_exactly(self):
+        names = ["allroots", "dhrystone"]
+        serial = run_suite(names, jobs=1)
+        parallel = run_suite(names, jobs=2)
+        assert set(serial) == set(parallel)
+        for name in names:
+            assert set(serial[name].cells) == set(parallel[name].cells)
+            for variant, cell in serial[name].cells.items():
+                other = parallel[name].cells[variant]
+                assert cell.counters == other.counters, (name, variant)
+                assert cell.output == other.output
+                assert cell.exit_code == other.exit_code
