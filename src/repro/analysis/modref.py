@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..diag import ledger as diag_ledger
 from ..intrinsics import is_intrinsic
 from ..ir.instructions import Call, CLoad, MemLoad, MemStore, ScalarLoad, ScalarStore
 from ..ir.module import Module
@@ -66,6 +67,20 @@ def run_modref(module: Module, apply_to_ir: bool = True) -> ModRefResult:
 
     if apply_to_ir:
         _limit_calls(module, graph, summaries, visible)
+
+    if diag_ledger.current_ledger() is not None:
+        # summary provenance: the MOD/REF sets every caller's ledger
+        # decisions (ambiguous-via-call) trace back to
+        for name in sorted(summaries):
+            summary = summaries[name]
+            diag_ledger.record(
+                "modref", name, "summarized",
+                detail={
+                    "mod": diag_ledger.trim_tag_names(summary.mod),
+                    "ref": diag_ledger.trim_tag_names(summary.ref),
+                    "recursive": sccs.is_recursive(name),
+                },
+            )
 
     return ModRefResult(
         summaries=summaries,

@@ -250,8 +250,11 @@ def apply_points_to(
     back to the MOD/REF visible universe rather than claim the operation
     touches nothing.
     """
+    from ..diag import ledger as diag_ledger
+
     for func in module.functions.values():
         universe = fallback_visible.get(func.name, frozenset())
+        refined = fell_back = 0
         for block in func.blocks.values():
             for instr in block.instrs:
                 if isinstance(instr, (MemLoad, MemStore)):
@@ -261,5 +264,14 @@ def apply_points_to(
                         if not instr.tags.universal:
                             new_tags = new_tags.intersect(instr.tags)
                         instr.tags = new_tags
+                        refined += 1
                     elif instr.tags.universal:
                         instr.tags = TagSet.from_iterable(universe)
+                        fell_back = fell_back + 1
+        if (refined or fell_back) and diag_ledger.current_ledger() is not None:
+            # provenance for the sharper tag sets the promotion ledger
+            # decisions will cite under the pointer analysis
+            diag_ledger.record(
+                "points_to", func.name, "refined",
+                detail={"ops_refined": refined, "ops_fallback": fell_back},
+            )

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..diag import ledger as diag_ledger
 from ..ir.instructions import MemLoad, MemStore, ScalarLoad, ScalarStore
 from ..ir.module import Module
 from ..ir.tags import TagKind
@@ -57,7 +58,13 @@ def refine_memory_ops(module: Module, sccs: SCCInfo) -> RefineStats:
                     if isinstance(instr, MemLoad):
                         block.instrs[idx] = ScalarLoad(instr.dst, tag)
                         stats.loads_strengthened += 1
+                        op = "load"
                     else:
                         block.instrs[idx] = ScalarStore(instr.src, tag)
                         stats.stores_strengthened += 1
+                        op = "store"
+                    diag_ledger.record(
+                        "tagrefine", func.name, "strengthened",
+                        tag=tag.name, detail={"op": op},
+                    )
     return stats

@@ -4,15 +4,27 @@ Commands
 --------
 ``run FILE.c``
     Compile with one pipeline variant and execute; print the program's
-    output and the dynamic operation counts.
+    output and the dynamic operation counts (``--profile`` adds a
+    per-loop hot-loop table).
 ``compare FILE.c``
     Run all four paper variants (Figures 5-7 style) on one file and print
-    the comparison table.
+    the comparison table plus a per-variant promotion summary
+    (``--profile`` adds per-loop before/after memory-traffic tables).
+``explain FILE.c``
+    Compile once under the decision ledger and print why each pass did or
+    refused to do something — e.g. which call or pointer operation blocked
+    a tag's promotion (filter with ``--tag``/``--loop``/``--pass``).
 ``ir FILE.c``
     Print the optimized IL (use ``--no-opt`` for the raw front-end output).
 ``suite [PROGRAM ...]``
     Regenerate the paper's Figure 5/6/7 rows for the named workloads
     (default: the whole 14-program suite).
+``drift BASELINE.json``
+    Run the suite and diff its metrics against a checked-in baseline;
+    non-zero exit on gated regressions.  ``--update`` re-baselines.
+
+Global ``-v``/``-vv`` raise log verbosity (INFO/DEBUG); ``-q`` silences
+warnings.  The flags are accepted both before and after the subcommand.
 """
 
 from __future__ import annotations
@@ -21,14 +33,15 @@ import argparse
 import sys
 from pathlib import Path
 
+from .diag.log import setup_logging
 from .frontend import compile_c
 from .interp import MachineOptions, run_module
 from .ir.printer import format_module
 from .pipeline import (
     Analysis,
+    ExperimentCell,
     PipelineOptions,
     check_outputs_agree,
-    compile_and_run,
     compile_source,
     paper_variants,
 )
@@ -61,15 +74,49 @@ def _add_variant_flags(parser: argparse.ArgumentParser) -> None:
 
 def cmd_run(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
-    cell = compile_and_run(
-        source,
-        _pipeline_options(args),
-        name=Path(args.file).stem,
-        machine_options=MachineOptions(max_steps=args.max_steps),
-    )
-    sys.stdout.write(cell.output)
-    print(f"[{cell.variant}] {cell.counters}", file=sys.stderr)
-    return cell.exit_code
+    options = _pipeline_options(args)
+    machine = MachineOptions(max_steps=args.max_steps, profile=args.profile)
+    compiled = compile_source(source, options, name=Path(args.file).stem)
+    run = run_module(compiled.module, options=machine)
+    sys.stdout.write(run.output)
+    print(f"[{options.variant_name()}] {run.counters}", file=sys.stderr)
+    if args.profile:
+        from .diag.profile import format_profile, profile_loops
+
+        rows = profile_loops(compiled.module, run.block_visits or {})
+        print(format_profile(rows), file=sys.stderr)
+    return run.exit_code
+
+
+def _promotion_summary(cells: dict[str, ExperimentCell]) -> list[str]:
+    """One line per variant: what promotion did, and in which loops."""
+    lines = ["promotion summary:"]
+    for name, cell in cells.items():
+        compiled = cell.compile_result
+        if compiled is None or not compiled.options.promotion:
+            lines.append(f"  {name:<18} promotion disabled")
+            continue
+        reports = list(compiled.promotion_reports.values())
+        tags = set().union(*(r.promoted_tags for r in reports)) if reports else set()
+        refs = sum(r.references_rewritten for r in reports)
+        loads = sum(r.loads_inserted for r in reports)
+        stores = sum(r.stores_inserted for r in reports)
+        lifted = [
+            "%s@%s{%s}" % (
+                report.function,
+                loop.header,
+                ",".join(sorted(str(t) for t in loop.lifted)),
+            )
+            for report in reports
+            for loop in report.loops
+            if loop.lifted
+        ]
+        suffix = f"; lifted {' '.join(lifted)}" if lifted else ""
+        lines.append(
+            f"  {name:<18} {len(tags)} tag(s) promoted, {refs} ref(s) "
+            f"rewritten, {loads} load(s) + {stores} store(s) inserted{suffix}"
+        )
+    return lines
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -78,33 +125,60 @@ def cmd_compare(args: argparse.Namespace) -> int:
     from .runner import telemetry
 
     source = Path(args.file).read_text()
-    cells = {}
+    stem = Path(args.file).stem
+    machine = MachineOptions(max_steps=args.max_steps, profile=args.profile)
+    cells: dict[str, ExperimentCell] = {}
+    profiles: dict[str, list] = {}
     trace_groups = {}
     print(f"{'variant':<18} {'total ops':>12} {'loads':>10} {'stores':>10}")
     print("-" * 54)
     for name, options in paper_variants(
         pointer_promotion=args.pointer_promotion
     ).items():
+
+        def build():
+            with telemetry.span("compile", variant=name):
+                compiled = compile_source(source, options, name=stem)
+            with telemetry.span("execute", variant=name):
+                run = run_module(compiled.module, options=machine)
+            return compiled, run
+
         if args.trace:
             with telemetry.tracing(name) as trace:
-                cell = compile_and_run(
-                    source,
-                    options,
-                    name=Path(args.file).stem,
-                    machine_options=MachineOptions(max_steps=args.max_steps),
-                )
+                compiled, run = build()
             trace_groups[name] = trace.events
         else:
-            cell = compile_and_run(
-                source,
-                options,
-                name=Path(args.file).stem,
-                machine_options=MachineOptions(max_steps=args.max_steps),
-            )
-        cells[name] = cell
-        c = cell.counters
+            compiled, run = build()
+        cells[name] = ExperimentCell(
+            variant=name,
+            counters=run.counters,
+            exit_code=run.exit_code,
+            output=run.output,
+            compile_result=compiled,
+        )
+        if args.profile:
+            from .diag.profile import profile_loops
+
+            profiles[name] = profile_loops(compiled.module, run.block_visits or {})
+        c = run.counters
         print(f"{name:<18} {c.total_ops:>12} {c.loads:>10} {c.stores:>10}")
     check_outputs_agree(cells)
+    print()
+    for line in _promotion_summary(cells):
+        print(line)
+    if args.profile:
+        from .diag.profile import format_profile_comparison
+
+        for analysis in ("modref", "pointer"):
+            before = profiles.get(f"{analysis}/nopromo")
+            after = profiles.get(f"{analysis}/promo")
+            if before is None or after is None:
+                continue
+            print(f"\nper-loop memory traffic ({analysis}):", file=sys.stderr)
+            print(
+                format_profile_comparison(before, after, "nopromo", "promo"),
+                file=sys.stderr,
+            )
     if args.json:
         payload = {
             name: {
@@ -120,6 +194,27 @@ def cmd_compare(args: argparse.Namespace) -> int:
     print()
     print("program output (identical across variants):")
     sys.stdout.write(cells["modref/promo"].output)
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    from .diag.ledger import decision_ledger, format_decision_table
+
+    source = Path(args.file).read_text()
+    with decision_ledger() as ledger:
+        compile_source(source, _pipeline_options(args), name=Path(args.file).stem)
+    decisions = ledger.query(
+        pass_name=args.pass_name,
+        function=args.function,
+        loop=args.loop,
+        tag=args.tag,
+        action=args.action,
+    )
+    if args.json:
+        if decisions:
+            print(ledger.jsonl(decisions))
+    else:
+        print(format_decision_table(decisions))
     return 0
 
 
@@ -196,37 +291,142 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def cmd_drift(args: argparse.Namespace) -> int:
+    from .diag.drift import (
+        compare_cells,
+        format_drift_report,
+        load_baseline,
+        regressions,
+        suite_cell_metrics,
+        write_baseline,
+    )
+    from .runner import ResultCache
+    from .runner.report import run_suite_report
+    from .workloads import workload_names
+
+    names = args.programs or None
+    if names:
+        unknown = sorted(set(names) - set(workload_names()))
+        if unknown:
+            print(f"unknown workloads: {unknown}", file=sys.stderr)
+            return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    report = run_suite_report(
+        names,
+        pointer_promotion=args.pointer_promotion,
+        max_steps=args.max_steps,
+        jobs=args.jobs,
+        cache=cache,
+        timeout=args.timeout,
+    )
+    for failure in report.failures:
+        print(
+            f"FAILED {failure.workload}[{failure.variant}]: {failure.message}",
+            file=sys.stderr,
+        )
+    for problem in report.disagreements:
+        print(f"DISAGREEMENT {problem}", file=sys.stderr)
+    if not report.ok:
+        print("drift: suite itself failed; no comparison done", file=sys.stderr)
+        return 1
+
+    current = suite_cell_metrics(report)
+    if args.update:
+        write_baseline(args.baseline, current)
+        print(f"baseline updated: {args.baseline} ({len(current)} cells)")
+        return 0
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(
+            f"no baseline at {args.baseline}; create one with "
+            f"`repro drift {args.baseline} --update`",
+            file=sys.stderr,
+        )
+        return 2
+    if names:
+        # a partial run can only be judged against the matching subset
+        prefixes = tuple(f"{name}/" for name in names)
+        baseline = {
+            cell: metrics
+            for cell, metrics in baseline.items()
+            if cell.startswith(prefixes)
+        }
+    drifts = compare_cells(baseline, current, tolerance_pct=args.tolerance)
+    print(format_drift_report(drifts, args.tolerance))
+    return 1 if regressions(drifts) else 0
+
+
+def _logging_flags(parser: argparse.ArgumentParser, root: bool) -> None:
+    # root gets real defaults; subcommands SUPPRESS theirs so a value the
+    # root parser already counted is not reset to zero
+    parser.add_argument(
+        "-v", "--verbose", action="count",
+        default=0 if root else argparse.SUPPRESS,
+        help="-v for INFO, -vv for DEBUG logging (on stderr)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        default=False if root else argparse.SUPPRESS,
+        help="errors only",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Register promotion reproduction (Cooper & Lu, PLDI 1997)",
     )
+    _logging_flags(parser, root=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="compile and execute a C file")
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help_text)
+        _logging_flags(p, root=False)
+        return p
+
+    p_run = add_command("run", "compile and execute a C file")
     p_run.add_argument("file")
     p_run.add_argument("--max-steps", type=int, default=500_000_000)
+    p_run.add_argument("--profile", action="store_true",
+                       help="count block executions; print a hot-loop table")
     _add_variant_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
-    p_cmp = sub.add_parser("compare", help="run all four paper variants")
+    p_cmp = add_command("compare", "run all four paper variants")
     p_cmp.add_argument("file")
     p_cmp.add_argument("--max-steps", type=int, default=500_000_000)
     p_cmp.add_argument("--pointer-promotion", action="store_true")
+    p_cmp.add_argument("--profile", action="store_true",
+                       help="per-loop before/after memory-traffic tables")
     p_cmp.add_argument("--json", metavar="FILE",
                        help="write per-variant counters as JSON")
     p_cmp.add_argument("--trace", metavar="FILE",
                        help="write a Chrome-trace JSON of per-pass timings")
     p_cmp.set_defaults(func=cmd_compare)
 
-    p_ir = sub.add_parser("ir", help="print the IL for a C file")
+    p_exp = add_command("explain", "show why passes made their decisions")
+    p_exp.add_argument("file")
+    p_exp.add_argument("--pass", dest="pass_name", metavar="PASS",
+                       help="only decisions from this pass (e.g. promotion)")
+    p_exp.add_argument("--function", help="only decisions in this function")
+    p_exp.add_argument("--loop", help="only decisions about this loop header")
+    p_exp.add_argument("--tag", help="only decisions about this memory tag")
+    p_exp.add_argument("--action", help="only this action (promoted, blocked...)")
+    p_exp.add_argument("--json", action="store_true",
+                       help="JSONL instead of the table")
+    _add_variant_flags(p_exp)
+    p_exp.set_defaults(func=cmd_explain)
+
+    p_ir = add_command("ir", "print the IL for a C file")
     p_ir.add_argument("file")
     p_ir.add_argument("--no-opt", action="store_true",
                       help="raw front-end output, no analysis/optimization")
     _add_variant_flags(p_ir)
     p_ir.set_defaults(func=cmd_ir)
 
-    p_suite = sub.add_parser("suite", help="regenerate Figure 5/6/7 rows")
+    p_suite = add_command("suite", "regenerate Figure 5/6/7 rows")
     p_suite.add_argument("programs", nargs="*")
     p_suite.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1 = inline, serial)")
@@ -247,11 +447,31 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write a Chrome-trace JSON of per-pass timings")
     p_suite.set_defaults(func=cmd_suite)
 
+    p_drift = add_command("drift", "gate suite metrics against a baseline")
+    p_drift.add_argument("baseline",
+                         help="baseline JSON (e.g. benchmarks/baseline.json)")
+    p_drift.add_argument("--update", action="store_true",
+                         help="rewrite the baseline from this run and exit 0")
+    p_drift.add_argument("--tolerance", type=float, default=0.0, metavar="PCT",
+                         help="ignore gated drift within this percent (default 0)")
+    p_drift.add_argument("--programs", nargs="*", default=None,
+                         help="workload subset (baseline is filtered to match)")
+    p_drift.add_argument("--jobs", type=int, default=1)
+    p_drift.add_argument("--max-steps", type=int, default=50_000_000)
+    p_drift.add_argument("--pointer-promotion", action="store_true")
+    p_drift.add_argument("--timeout", type=float, default=None)
+    p_drift.add_argument("--no-cache", action="store_true",
+                         help="always recompute, don't touch the result cache")
+    p_drift.add_argument("--cache-dir", default=".repro-cache",
+                         help="result cache location (default: .repro-cache)")
+    p_drift.set_defaults(func=cmd_drift)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(-1 if args.quiet else args.verbose)
     return args.func(args)
 
 

@@ -1,0 +1,60 @@
+"""Observability for the compiler: decision ledger, per-loop dynamic
+profiling, metrics registry, and the cross-PR drift gate.
+
+The paper's evaluation (section 5) is an observability story — dynamic
+operation/load/store counts explain *where* promotion pays off and *why*
+points-to beats MOD/REF.  This package makes the same questions answerable
+about our own pipeline:
+
+* :mod:`repro.diag.ledger` — every optimization pass emits structured
+  :class:`Decision` records ("tag ``x`` was blocked in loop ``L2`` by the
+  MOD set of callee ``f``"), queryable via ``repro explain``;
+* :mod:`repro.diag.profile` — fold the interpreter's per-block execution
+  counts up through the loop forest into a hot-loop table
+  (``repro run --profile`` / ``repro compare --profile``);
+* :mod:`repro.diag.metrics` — a lightweight counter/gauge registry that
+  passes and the interpreter publish into, serialized per cell into
+  ``suite.json``;
+* :mod:`repro.diag.drift` — diff a fresh suite run against a checked-in
+  ``benchmarks/baseline.json`` and fail on metric regressions
+  (``repro drift``);
+* :mod:`repro.diag.log` — stdlib :mod:`logging` setup shared by the CLI's
+  ``-v/-vv/-q`` flags and the module loggers.
+"""
+
+from .ledger import (
+    Decision,
+    DecisionLedger,
+    current_ledger,
+    decision_ledger,
+    format_decision_table,
+    record,
+)
+from .log import get_logger, setup_logging
+from .metrics import (
+    MetricsRegistry,
+    current_registry,
+    inc_metric,
+    metrics_session,
+    set_gauge,
+)
+from .profile import LoopProfileRow, format_profile, profile_loops
+
+__all__ = [
+    "Decision",
+    "DecisionLedger",
+    "LoopProfileRow",
+    "MetricsRegistry",
+    "current_ledger",
+    "current_registry",
+    "decision_ledger",
+    "format_decision_table",
+    "format_profile",
+    "get_logger",
+    "inc_metric",
+    "metrics_session",
+    "profile_loops",
+    "record",
+    "set_gauge",
+    "setup_logging",
+]

@@ -1,0 +1,53 @@
+"""Stdlib :mod:`logging` setup for the ``repro`` package.
+
+Every module logger hangs off the ``"repro"`` root (``get_logger(__name__)``
+inside the package already does), so one :func:`setup_logging` call controls
+the whole compiler.  The CLI maps its global flags onto verbosity levels:
+``-q`` -> errors only, default -> warnings, ``-v`` -> info, ``-vv`` -> debug.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger", "setup_logging"]
+
+#: marks handlers installed by :func:`setup_logging` so reruns replace
+#: rather than stack them
+_HANDLER_FLAG = "_repro_diag_handler"
+
+_LEVELS = {
+    -1: logging.ERROR,
+    0: logging.WARNING,
+    1: logging.INFO,
+    2: logging.DEBUG,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The module logger for ``name`` (rooted under ``repro``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger and return it.
+
+    ``verbosity``: -1 (quiet) .. 2 (debug); values outside are clamped.
+    Idempotent — a second call reconfigures instead of duplicating
+    handlers, so tests and long-lived sessions can call it freely.
+    """
+    level = _LEVELS[max(-1, min(2, verbosity))]
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
+    return root

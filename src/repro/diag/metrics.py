@@ -1,0 +1,80 @@
+"""A lightweight counter/gauge registry.
+
+Passes and the interpreter publish named values (``promotion.tags_promoted``,
+``interp.total_ops``) into the active registry; the runner serializes the
+snapshot into ``suite.json`` per experiment cell, and :mod:`repro.diag.drift`
+compares snapshots across suite runs.
+
+Same zero-cost-when-off contract as the ledger and telemetry: the module
+helpers :func:`inc_metric`/:func:`set_gauge` no-op unless a
+:func:`metrics_session` is active, so instrumentation stays unconditional.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "MetricsRegistry",
+    "current_registry",
+    "inc_metric",
+    "metrics_session",
+    "set_gauge",
+]
+
+
+class MetricsRegistry:
+    """Flat name -> number mapping with counter and gauge semantics."""
+
+    def __init__(self) -> None:
+        self.values: dict[str, int | float] = {}
+
+    def inc(self, name: str, delta: int | float = 1) -> None:
+        self.values[name] = self.values.get(name, 0) + delta
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        self.values[name] = value
+
+    def get(self, name: str, default: int | float = 0) -> int | float:
+        return self.values.get(name, default)
+
+    def as_dict(self) -> dict[str, int | float]:
+        return {name: self.values[name] for name in sorted(self.values)}
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+_CURRENT: MetricsRegistry | None = None
+
+
+def current_registry() -> MetricsRegistry | None:
+    return _CURRENT
+
+
+@contextmanager
+def metrics_session() -> Iterator[MetricsRegistry]:
+    """Install a fresh registry as the current one for the duration."""
+    global _CURRENT
+    previous = _CURRENT
+    registry = MetricsRegistry()
+    _CURRENT = registry
+    try:
+        yield registry
+    finally:
+        _CURRENT = previous
+
+
+def inc_metric(name: str, delta: int | float = 1) -> None:
+    """Add to a counter on the active registry; no-op when none is."""
+    registry = _CURRENT
+    if registry is not None:
+        registry.inc(name, delta)
+
+
+def set_gauge(name: str, value: int | float) -> None:
+    """Set a gauge on the active registry; no-op when none is."""
+    registry = _CURRENT
+    if registry is not None:
+        registry.set_gauge(name, value)

@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from ..diag.log import get_logger
 from ..errors import InterpError, InterpTrap, ResourceLimitError
 from ..intrinsics import ALLOCATORS, is_intrinsic
 from ..ir.function import Function
@@ -41,6 +42,8 @@ from ..ir.opcodes import Opcode
 from ..ir.tags import TagKind
 from .counters import Counters
 from .memory import MemoryImage
+
+_log = get_logger(__name__)
 
 _INT_MASK = (1 << 64) - 1
 _INT_SIGN = 1 << 63
@@ -82,6 +85,10 @@ class RunResult:
     output: str
     #: return value of main (same as exit_code unless exit() was called)
     returned: int | float | None = None
+    #: ``(function, block label) -> execution count``; ``None`` unless the
+    #: run was profiled (``MachineOptions.profile``) — see
+    #: :mod:`repro.diag.profile` for the per-loop fold-up
+    block_visits: dict[tuple[str, str], int] | None = None
 
 
 @dataclass
@@ -89,6 +96,9 @@ class MachineOptions:
     max_steps: int = 500_000_000
     capture_output: bool = True
     rand_seed: int = 1
+    #: count per-block executions for per-loop attribution; the default
+    #: (off) path allocates nothing and does no per-instruction work
+    profile: bool = False
 
 
 class Machine:
@@ -99,6 +109,11 @@ class Machine:
         self.options = options or MachineOptions()
         self.mem = MemoryImage(module)
         self.counters = Counters()
+        #: per-(function, block) execution counts; None when profiling is
+        #: off so the default path never allocates
+        self.block_visits: dict[tuple[str, str], int] | None = (
+            {} if self.options.profile else None
+        )
         self.output: list[str] = []
         self._rand_state = self.options.rand_seed
         self._call_depth = 0
@@ -121,12 +136,17 @@ class Machine:
         except _ProgramExit as exit_:
             value = None
             code = exit_.code
-        return RunResult(
+        result = RunResult(
             exit_code=wrap_int(code) & 0xFF if code >= 0 else code,
             counters=self.counters,
             output="".join(self.output),
             returned=value,
+            block_visits=self.block_visits,
         )
+        _log.debug(
+            "run finished: exit=%d %s", result.exit_code, result.counters
+        )
+        return result
 
     # -- execution core ------------------------------------------------------
     def _exec_function(
@@ -149,10 +169,19 @@ class Machine:
         max_steps = self.options.max_steps
         label = func.entry
         result: int | float | None = None
+        # Profiling attributes whole blocks, never single instructions: a
+        # block always executes all of its instructions once entered, so
+        # ``visits x static mix`` reconstructs exact dynamic counts (see
+        # repro.diag.profile).  The off path is one None test per block.
+        visits = self.block_visits
+        func_name = func.name
 
         try:
             while True:
                 block = func.blocks[label]
+                if visits is not None:
+                    key = (func_name, label)
+                    visits[key] = visits.get(key, 0) + 1
                 next_label: str | None = None
                 for instr in block.instrs:
                     counters.total_ops += 1

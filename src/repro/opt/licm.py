@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis.loops import Loop, LoopForest, normalize_loops
+from ..diag import ledger as diag_ledger
 from ..ir.function import Function
 from ..ir.instructions import (
     BinOp,
@@ -158,6 +159,12 @@ def _hoist_from_loop(
                     stats.hoisted += 1
                     if isinstance(instr, (ScalarLoad, CLoad, MemLoad)):
                         stats.loads_hoisted += 1
+                    diag_ledger.record(
+                        "licm", func.name, "hoisted", loop=loop.header,
+                        tag=getattr(instr, "tag", None)
+                        and str(instr.tag),  # type: ignore[attr-defined]
+                        detail={"opcode": instr.opcode.value, "from": label},
+                    )
                     changed = True
                 else:
                     kept.append(instr)

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..analysis.dominators import compute_dominators
 from ..analysis.loops import LoopForest, normalize_loops
+from ..diag import ledger as diag_ledger
 from ..ir.function import Function
 from ..ir.instructions import (
     Call,
@@ -132,9 +133,22 @@ def _promote_in_loop(
         addr = instr.addr  # type: ignore[union-attr]
         groups.setdefault(addr.id, []).append(site)
 
+    def decide(base_reg: VReg, action: str, reason: str | None = None,
+               tags: TagSet | None = None) -> None:
+        if diag_ledger.current_ledger() is None:
+            return
+        detail = {"base": str(base_reg)}
+        if tags is not None and not tags.universal:
+            detail["tags"] = ",".join(diag_ledger.trim_tag_names(tags))
+        diag_ledger.record(
+            "pointer_promotion", func.name, action,
+            loop=loop.header, reason=reason, detail=detail,
+        )
+
     for base_id, sites in sorted(groups.items()):
         base_reg = sites[0][2].addr  # type: ignore[union-attr]
         if not _base_is_invariant(base_id, loop, pad_label, dom, def_sites):
+            decide(base_reg, "blocked", "base-not-invariant")
             continue
         tags = TagSet.empty()
         for _, _, instr in sites:
@@ -142,13 +156,17 @@ def _promote_in_loop(
         if tags.universal:
             materialized = universe
             if materialized is None:
+                decide(base_reg, "blocked", "universal-tags")
                 continue
             tags = TagSet.from_iterable(materialized)
         if tags.is_empty():
+            decide(base_reg, "blocked", "empty-tags")
             continue
         if call_universal or any(t in call_tags for t in tags):
+            decide(base_reg, "blocked", "call-clobbers", tags)
             continue
         if any(t in scalar_tags for t in tags):
+            decide(base_reg, "blocked", "scalar-overlap", tags)
             continue
         # every other memory op touching these tags must use this base
         conflict = False
@@ -161,11 +179,13 @@ def _promote_in_loop(
                 conflict = True
                 break
         if conflict:
+            decide(base_reg, "blocked", "conflicting-base", tags)
             continue
 
         _rewrite_group(func, loop, pad_label, base_reg, tags, sites, report)
         report.promoted_bases += 1
         report.sites.append((loop.header, base_reg))
+        decide(base_reg, "promoted", tags=tags)
 
 
 def _base_is_invariant(

@@ -99,11 +99,21 @@ def run_pre(func: Function) -> PREStats:
 
 
 def run_pre_module(module: Module) -> PREStats:
+    from ..diag import ledger as diag_ledger
+
     total = PREStats()
     for func in module.functions.values():
         stats = run_pre(func)
         total.expressions_removed += stats.expressions_removed
         total.loads_removed += stats.loads_removed
+        if stats.expressions_removed:
+            diag_ledger.record(
+                "pre", func.name, "applied",
+                detail={
+                    "expressions_removed": stats.expressions_removed,
+                    "loads_removed": stats.loads_removed,
+                },
+            )
     return total
 
 

@@ -40,6 +40,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..analysis.loops import Loop, LoopForest, normalize_loops
+from ..diag import ledger as diag_ledger
 from ..ir.function import Function
 from ..ir.instructions import (
     Call,
@@ -210,6 +211,9 @@ def promote_function(
     if options.pressure_budget is not None:
         _apply_pressure_plan(func, forest, sets, options)
 
+    if diag_ledger.current_ledger() is not None:
+        _record_decisions(func, forest, sets, universe)
+
     for loop in forest.loops:
         report.loops.append(
             LoopPromotion(
@@ -322,6 +326,107 @@ def _apply_pressure_plan(
             promotable=filtered,
             lift=lift,
         )
+
+
+def _record_decisions(
+    func: Function,
+    forest: LoopForest,
+    sets: dict[str, LoopSets],
+    universe: frozenset[Tag] | None,
+) -> None:
+    """Emit one ledger decision per (loop, tag) pair.
+
+    A tag that is explicitly referenced in the loop is either ``promoted``
+    or ``blocked`` with the precise reason; a tag only touched ambiguously
+    has nothing to rewrite and is recorded as ``not-referenced``.  Blocker
+    provenance (which call, which pointer operation) is gathered lazily —
+    only when a ledger is active — so the promotion hot path never pays
+    for it.
+    """
+    for loop in forest.loops_outermost_first():
+        loop_sets = sets[loop.header]
+        blockers = None  # computed once per loop, only if something is blocked
+        for tag in sorted(
+            loop_sets.explicit | loop_sets.ambiguous, key=lambda t: t.name
+        ):
+            if tag in loop_sets.promotable:
+                diag_ledger.record(
+                    "promotion", func.name, "promoted",
+                    loop=loop.header, tag=tag.name,
+                    detail={"lifted_here": tag in loop_sets.lift},
+                )
+                continue
+            if tag not in loop_sets.explicit:
+                diag_ledger.record(
+                    "promotion", func.name, "blocked",
+                    loop=loop.header, tag=tag.name, reason="not-referenced",
+                )
+                continue
+            if not tag.is_scalar:
+                diag_ledger.record(
+                    "promotion", func.name, "blocked",
+                    loop=loop.header, tag=tag.name, reason="not-scalar",
+                )
+                continue
+            if tag in loop_sets.ambiguous:
+                if blockers is None:
+                    blockers = _ambiguity_blockers(func, loop, universe)
+                calls, pointer_ops = blockers.get(tag, ((), ()))
+                reason = "ambiguous-via-call" if calls else "ambiguous-via-pointer"
+                diag_ledger.record(
+                    "promotion", func.name, "blocked",
+                    loop=loop.header, tag=tag.name, reason=reason,
+                    detail={"calls": list(calls), "pointer_ops": list(pointer_ops)},
+                )
+                continue
+            # explicit, scalar, unambiguous, yet not promotable: the
+            # pressure throttle dropped it
+            diag_ledger.record(
+                "promotion", func.name, "blocked",
+                loop=loop.header, tag=tag.name, reason="pressure-throttled",
+            )
+
+
+def _ambiguity_blockers(
+    func: Function, loop: Loop, universe: frozenset[Tag] | None
+) -> dict[Tag, tuple[list[dict], list[dict]]]:
+    """Per ambiguous tag, the (calls, pointer ops) inside ``loop`` that
+    reference it — the provenance behind an ``ambiguous-via-*`` decision."""
+    blockers: dict[Tag, tuple[list[dict], list[dict]]] = {}
+
+    def slot(tag: Tag) -> tuple[list[dict], list[dict]]:
+        return blockers.setdefault(tag, ([], []))
+
+    for label in sorted(loop.blocks):
+        for instr in func.block(label).instrs:
+            if isinstance(instr, Call):
+                mod = _materialize(instr.mod, universe)
+                ref = _materialize(instr.ref, universe)
+                callee = instr.callee if instr.callee is not None else "<indirect>"
+                for tag in set(mod) | set(ref):
+                    slot(tag)[0].append(
+                        {
+                            "callee": callee,
+                            "in_mod": tag in mod,
+                            "in_ref": tag in ref,
+                            "mod": diag_ledger.trim_tag_names(mod),
+                            "ref": diag_ledger.trim_tag_names(ref),
+                            "block": label,
+                        }
+                    )
+            elif isinstance(instr, (MemLoad, MemStore)):
+                tags = _materialize(instr.tags, universe)
+                op = "store" if isinstance(instr, MemStore) else "load"
+                for tag in tags:
+                    slot(tag)[1].append(
+                        {
+                            "op": op,
+                            "universal": bool(instr.tags.universal),
+                            "tags": diag_ledger.trim_tag_names(tags),
+                            "block": label,
+                        }
+                    )
+    return blockers
 
 
 def _promotable_blocks(

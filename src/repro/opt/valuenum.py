@@ -144,6 +144,8 @@ def run_value_numbering(func: Function, fold_constants: bool = True) -> VNStats:
 
 
 def run_value_numbering_module(module: Module) -> VNStats:
+    from ..diag import ledger as diag_ledger
+
     total = VNStats()
     for func in module.functions.values():
         stats = run_value_numbering(func)
@@ -151,6 +153,16 @@ def run_value_numbering_module(module: Module) -> VNStats:
         total.expressions_reused += stats.expressions_reused
         total.loads_removed += stats.loads_removed
         total.copies_propagated += stats.copies_propagated
+        if stats.constants_folded or stats.expressions_reused or stats.loads_removed:
+            diag_ledger.record(
+                "valuenum", func.name, "applied",
+                detail={
+                    "constants_folded": stats.constants_folded,
+                    "expressions_reused": stats.expressions_reused,
+                    "loads_removed": stats.loads_removed,
+                    "copies_propagated": stats.copies_propagated,
+                },
+            )
     return total
 
 

@@ -29,6 +29,8 @@ from dataclasses import dataclass, field, replace
 from .analysis.modref import ModRefResult, run_modref
 from .analysis.pointsto import apply_points_to, run_points_to
 from .analysis.tagrefine import refine_memory_ops
+from .diag.log import get_logger
+from .diag.metrics import inc_metric, set_gauge
 from .errors import ReproError
 from .frontend import compile_c
 from .interp import Counters, MachineOptions, RunResult, run_module
@@ -44,6 +46,9 @@ from .opt.promotion import PromotionOptions, PromotionReport, promote_module
 from .opt.valuenum import run_value_numbering_module
 from .regalloc import RegAllocOptions, RegAllocReport, allocate_module
 from .runner.telemetry import span
+
+
+_log = get_logger(__name__)
 
 
 class Analysis(enum.Enum):
@@ -104,10 +109,14 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
             verify_module(module)
 
     # -- interprocedural analysis -----------------------------------------
+    _log.debug(
+        "compiling %s with analysis=%s promotion=%s",
+        module.name, options.analysis.value, options.promotion,
+    )
     if options.analysis is Analysis.MODREF:
         with span("modref", module):
             result.modref = run_modref(module)
-            refine_memory_ops(module, result.modref.sccs)
+            refined = refine_memory_ops(module, result.modref.sccs)
     elif options.analysis is Analysis.POINTER:
         # the paper's sequencing: MOD/REF to seed, points-to to sharpen
         # pointer-op tag sets, MOD/REF repeated on the sharper sets
@@ -118,7 +127,14 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
             apply_points_to(module, points, first.visible)
         with span("modref", module):
             result.modref = run_modref(module)
-            refine_memory_ops(module, result.modref.sccs)
+            refined = refine_memory_ops(module, result.modref.sccs)
+    else:
+        refined = None
+    if refined is not None:
+        set_gauge(
+            "tagrefine.strengthened",
+            refined.loads_strengthened + refined.stores_strengthened,
+        )
     checkpoint()
 
     # -- early scalar optimizations ------------------------------------------
@@ -139,23 +155,57 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
             result.promotion_reports = promote_module(
                 module, options.promotion_options
             )
+        promoted = set().union(
+            *(r.promoted_tags for r in result.promotion_reports.values())
+        )
+        set_gauge("promotion.tags_promoted", len(promoted))
+        set_gauge(
+            "promotion.refs_rewritten",
+            sum(r.references_rewritten for r in result.promotion_reports.values()),
+        )
+        set_gauge(
+            "promotion.loads_inserted",
+            sum(r.loads_inserted for r in result.promotion_reports.values()),
+        )
+        set_gauge(
+            "promotion.stores_inserted",
+            sum(r.stores_inserted for r in result.promotion_reports.values()),
+        )
+        _log.info(
+            "%s: promoted %d tag(s), rewrote %d reference(s)",
+            module.name,
+            len(promoted),
+            sum(r.references_rewritten for r in result.promotion_reports.values()),
+        )
         checkpoint()
 
     # -- loop and straight-line redundancy removal ---------------------------
     if options.licm:
         with span("licm", module):
-            run_licm_module(module)
+            licm_stats = run_licm_module(module)
+        inc_metric("licm.hoisted", licm_stats.hoisted)
+        inc_metric("licm.loads_hoisted", licm_stats.loads_hoisted)
         checkpoint()
     if options.pointer_promotion:
         with span("pointer_promotion", module):
             result.pointer_promotion_reports = promote_pointers_module(module)
+        set_gauge(
+            "pointer_promotion.promoted_bases",
+            sum(
+                r.promoted_bases
+                for r in result.pointer_promotion_reports.values()
+            ),
+        )
         checkpoint()
     if options.pre:
         with span("pre", module):
-            run_pre_module(module)
+            pre_stats = run_pre_module(module)
+        inc_metric("pre.expressions_removed", pre_stats.expressions_removed)
+        inc_metric("pre.loads_removed", pre_stats.loads_removed)
     if options.value_numbering:
         with span("value_numbering", module):
-            run_value_numbering_module(module)
+            vn_stats = run_value_numbering_module(module)
+        inc_metric("valuenum.loads_removed", vn_stats.loads_removed)
     if options.dce:
         with span("dce", module):
             run_dce_module(module)
@@ -215,6 +265,10 @@ def compile_and_run(
         compiled = compile_source(source, options, name=name, defines=defines)
     with span("execute", variant=options.variant_name()):
         run: RunResult = run_module(compiled.module, options=machine_options)
+    # the interpreter's contribution to the cell's metrics snapshot
+    set_gauge("interp.total_ops", run.counters.total_ops)
+    set_gauge("interp.loads", run.counters.loads)
+    set_gauge("interp.stores", run.counters.stores)
     return ExperimentCell(
         variant=options.variant_name(),
         counters=run.counters,

@@ -29,7 +29,7 @@ from pathlib import Path
 __all__ = ["DEFAULT_CACHE_DIR", "SCHEMA_VERSION", "ResultCache", "cell_key"]
 
 #: bump when the cached payload or the meaning of a counter changes
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2  # v2: payloads carry the cell's published metrics
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

@@ -86,6 +86,7 @@ class SuiteReport:
                     "exit_code": outcome.exit_code,
                     "seconds": round(outcome.seconds, 6),
                     "from_cache": outcome.from_cache,
+                    "metrics": dict(outcome.metrics),
                 }
             else:
                 entry["failures"][variant] = outcome.as_dict()

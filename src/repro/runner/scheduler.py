@@ -39,11 +39,15 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Union
 
+from ..diag.log import get_logger
+from ..diag.metrics import metrics_session
 from ..errors import ReproError
 from ..interp import Counters, MachineOptions
 from ..pipeline import CompileResult, PipelineOptions, compile_and_run
 from . import telemetry
 from .cache import ResultCache, cell_key
+
+_log = get_logger(__name__)
 
 __all__ = [
     "CellData",
@@ -84,6 +88,9 @@ class CellData:
     seconds: float
     from_cache: bool = False
     trace_events: list[dict] = field(default_factory=list)
+    #: metrics the passes and interpreter published while this cell ran
+    #: (see :mod:`repro.diag.metrics`) — the drift gate's raw material
+    metrics: dict[str, float] = field(default_factory=dict)
     #: populated only for inline (jobs<=1, cache-miss) execution
     compile_result: CompileResult | None = None
 
@@ -95,6 +102,7 @@ class CellData:
             "exit_code": self.exit_code,
             "output": self.output,
             "seconds": self.seconds,
+            "metrics": dict(self.metrics),
         }
 
     @classmethod
@@ -107,6 +115,7 @@ class CellData:
             output=payload["output"],
             seconds=float(payload["seconds"]),
             from_cache=True,
+            metrics=dict(payload.get("metrics", {})),
         )
 
 
@@ -147,13 +156,18 @@ def execute_cell(
     counters/output payload crosses the process boundary.
     """
     started = time.perf_counter()
-    if collect_trace:
-        with telemetry.tracing(f"{spec.workload}:{spec.variant}") as trace:
+    with metrics_session() as registry:
+        if collect_trace:
+            with telemetry.tracing(f"{spec.workload}:{spec.variant}") as trace:
+                cell = _compile_and_run(spec)
+            events = [event.as_dict() for event in trace.events]
+        else:
             cell = _compile_and_run(spec)
-        events = [event.as_dict() for event in trace.events]
-    else:
-        cell = _compile_and_run(spec)
-        events = []
+            events = []
+    _log.debug(
+        "cell %s[%s] done in %.3fs", spec.workload, spec.variant,
+        time.perf_counter() - started,
+    )
     return CellData(
         workload=spec.workload,
         variant=spec.variant,
@@ -162,6 +176,7 @@ def execute_cell(
         output=cell.output,
         seconds=time.perf_counter() - started,
         trace_events=events,
+        metrics=registry.as_dict(),
         compile_result=cell.compile_result if keep_compile_result else None,
     )
 
@@ -240,6 +255,10 @@ def _run_inline(spec: CellSpec, retries: int, collect_trace: bool) -> CellOutcom
                 traceback.format_exception_only(type(error), error)
             ).strip()
         if attempts > retries:
+            _log.warning(
+                "cell %s[%s] crashed after %d attempt(s): %s",
+                spec.workload, spec.variant, attempts, last,
+            )
             return CellFailure(
                 workload=spec.workload,
                 variant=spec.variant,

@@ -27,6 +27,8 @@ __all__ = [
     "chrome_trace",
     "current_trace",
     "format_span_summary",
+    "module_op_breakdown",
+    "module_op_count",
     "span",
     "tracing",
 ]
@@ -77,6 +79,48 @@ def module_op_count(module) -> int:
     )
 
 
+def module_op_breakdown(module) -> dict[str, int]:
+    """Static instruction counts bucketed by opcode class.
+
+    Buckets: ``loads`` (sload/cload/load), ``stores`` (sstore/store),
+    ``copies`` (mov), ``calls``, ``branches`` (br/cbr/ret), ``other``
+    (arithmetic, address computation, phi...).  ``nop`` placeholders are
+    excluded — they are dead weight the clean pass erases, not work.
+    """
+    from ..ir.instructions import (
+        Branch,
+        Call,
+        CLoad,
+        MemLoad,
+        MemStore,
+        Mov,
+        Nop,
+        Ret,
+        ScalarLoad,
+        ScalarStore,
+    )
+
+    counts = {
+        "loads": 0, "stores": 0, "copies": 0,
+        "calls": 0, "branches": 0, "other": 0,
+    }
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, (ScalarLoad, CLoad, MemLoad)):
+                counts["loads"] += 1
+            elif isinstance(instr, (ScalarStore, MemStore)):
+                counts["stores"] += 1
+            elif isinstance(instr, Mov):
+                counts["copies"] += 1
+            elif isinstance(instr, Call):
+                counts["calls"] += 1
+            elif isinstance(instr, (Branch, Ret)):
+                counts["branches"] += 1
+            elif not isinstance(instr, Nop):
+                counts["other"] += 1
+    return counts
+
+
 class Trace:
     """An ordered collection of spans from one traced activity."""
 
@@ -92,6 +136,7 @@ class Trace:
         depth = len(self._child_time) - 1
         self._child_time.append(0.0)
         ops_before = module_op_count(module) if module is not None else None
+        classes_before = module_op_breakdown(module) if module is not None else None
         start = time.perf_counter()
         try:
             yield
@@ -105,6 +150,15 @@ class Trace:
                 event_args["ops_before"] = ops_before
                 event_args["ops_after"] = ops_after
                 event_args["ops_delta"] = ops_after - ops_before
+            if classes_before is not None:
+                classes_after = module_op_breakdown(module)
+                class_delta = {
+                    cls: classes_after[cls] - classes_before[cls]
+                    for cls in classes_after
+                    if classes_after[cls] != classes_before[cls]
+                }
+                if class_delta:
+                    event_args["ops_by_class_delta"] = class_delta
             self.events.append(
                 SpanEvent(
                     name=name,
@@ -191,29 +245,35 @@ def write_chrome_trace(path, groups: dict[str, list[SpanEvent]]) -> None:
 
 
 def format_span_summary(groups: dict[str, list[SpanEvent]]) -> str:
-    """Aggregate spans by name across all groups: calls, self time, and the
-    net static operations removed (``-ops_delta`` summed)."""
+    """Aggregate spans by name across all groups: calls, self time, the net
+    static operations removed (``-ops_delta`` summed), and the load subset
+    of that (from ``ops_by_class_delta``)."""
     totals: dict[str, dict[str, float]] = {}
     for events in groups.values():
         for event in events:
             entry = totals.setdefault(
-                event.name, {"calls": 0, "self": 0.0, "removed": 0}
+                event.name, {"calls": 0, "self": 0.0, "removed": 0, "loads": 0}
             )
             entry["calls"] += 1
             entry["self"] += event.self_seconds
             delta = event.args.get("ops_delta")
             if isinstance(delta, int):
                 entry["removed"] -= delta
+            by_class = event.args.get("ops_by_class_delta")
+            if isinstance(by_class, dict):
+                loads_delta = by_class.get("loads")
+                if isinstance(loads_delta, int):
+                    entry["loads"] -= loads_delta
     grand_self = sum(entry["self"] for entry in totals.values()) or 1.0
     header = (
         f"{'span':<20} {'calls':>6} {'self (s)':>10} {'% self':>8} "
-        f"{'ops removed':>12}"
+        f"{'ops removed':>12} {'loads removed':>14}"
     )
     lines = [header, "-" * len(header)]
     for name, entry in sorted(totals.items(), key=lambda kv: -kv[1]["self"]):
         lines.append(
             f"{name:<20} {int(entry['calls']):>6} {entry['self']:>10.3f} "
             f"{100.0 * entry['self'] / grand_self:>8.1f} "
-            f"{int(entry['removed']):>12}"
+            f"{int(entry['removed']):>12} {int(entry['loads']):>14}"
         )
     return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""The decision ledger: what promotion records, and why.
+
+The headline scenario is the paper's section 5 question made concrete:
+under MOD/REF a store through ``p`` carries the tag set ``{a, b}`` and
+blocks promoting ``a``; points-to narrows the store to ``{b}`` and the
+same tag promotes.  The ledger must name the exact blocker either way.
+"""
+
+import json
+
+import pytest
+
+from repro.diag.ledger import (
+    Decision,
+    DecisionLedger,
+    current_ledger,
+    decision_ledger,
+    format_decision_table,
+    record,
+    trim_tag_names,
+)
+from repro.pipeline import Analysis, PipelineOptions, compile_source
+
+#: `*p` really points only at `b`, but MOD/REF sees `{a, b}`
+POINTER_BLOCKED = r"""
+int a;
+int b;
+
+int main(void) {
+    int *p;
+    int *q;
+    int i;
+    int sum;
+    q = &a;
+    p = &b;
+    sum = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        a = a + i;
+        *p = i;
+        sum = sum + a;
+    }
+    printf("%d\n", sum);
+    return 0;
+}
+"""
+
+#: the callee's MOD/REF summary covers `g`, so the call blocks it
+CALL_BLOCKED = r"""
+int g;
+
+void bump(void) {
+    g = g + 1;
+}
+
+int main(void) {
+    int i;
+    for (i = 0; i < 10; i = i + 1) {
+        g = g + i;
+        bump();
+    }
+    printf("%d\n", g);
+    return 0;
+}
+"""
+
+
+def explain(source: str, analysis: Analysis) -> DecisionLedger:
+    with decision_ledger() as ledger:
+        compile_source(source, PipelineOptions(analysis=analysis))
+    return ledger
+
+
+class TestPromotionProvenance:
+    def test_pointer_op_blocks_tag_under_modref(self):
+        ledger = explain(POINTER_BLOCKED, Analysis.MODREF)
+        [blocked] = ledger.query(pass_name="promotion", tag="a", action="blocked")
+        assert blocked.reason == "ambiguous-via-pointer"
+        [op] = blocked.detail["pointer_ops"]
+        assert set(op["tags"]) == {"a", "b"}
+        assert op["op"] == "store"
+        # nothing was promoted in that loop
+        assert not ledger.query(pass_name="promotion", tag="a", action="promoted")
+
+    def test_points_to_unblocks_the_same_tag(self):
+        ledger = explain(POINTER_BLOCKED, Analysis.POINTER)
+        [promoted] = ledger.query(pass_name="promotion", tag="a", action="promoted")
+        assert promoted.detail["lifted_here"] is True
+        assert not ledger.query(pass_name="promotion", tag="a", action="blocked")
+
+    def test_call_blocker_names_the_callee(self):
+        ledger = explain(CALL_BLOCKED, Analysis.MODREF)
+        [blocked] = ledger.query(pass_name="promotion", tag="g", action="blocked")
+        assert blocked.reason == "ambiguous-via-call"
+        [call] = blocked.detail["calls"]
+        assert call["callee"] == "bump"
+        assert call["in_mod"] is True
+        assert "g" in call["mod"]
+
+    def test_other_passes_record_too(self):
+        ledger = explain(POINTER_BLOCKED, Analysis.MODREF)
+        passes = {d.pass_name for d in ledger.decisions}
+        assert "modref" in passes  # per-function summaries
+
+    def test_points_to_records_refinement(self):
+        ledger = explain(POINTER_BLOCKED, Analysis.POINTER)
+        refined = ledger.query(pass_name="points_to", action="refined")
+        assert refined
+        assert any(d.detail["ops_refined"] > 0 for d in refined)
+
+
+class TestLedgerMechanics:
+    def test_record_is_noop_without_ledger(self):
+        assert current_ledger() is None
+        record("promotion", "f", "blocked", tag="x")  # must not raise
+        assert current_ledger() is None
+
+    def test_nested_ledgers_restore(self):
+        with decision_ledger() as outer:
+            record("p", "f", "a")
+            with decision_ledger() as inner:
+                record("p", "f", "b")
+            assert current_ledger() is outer
+            assert [d.action for d in inner.decisions] == ["b"]
+        assert current_ledger() is None
+        assert [d.action for d in outer.decisions] == ["a"]
+
+    def test_query_filters_compose(self):
+        ledger = DecisionLedger()
+        ledger.record(Decision("promotion", "f", "blocked", loop="L1", tag="x"))
+        ledger.record(Decision("promotion", "f", "promoted", loop="L1", tag="y"))
+        ledger.record(Decision("licm", "g", "hoisted", loop="L2"))
+        assert len(ledger.query(pass_name="promotion")) == 2
+        assert len(ledger.query(loop="L1", action="promoted")) == 1
+        assert ledger.query(function="g")[0].pass_name == "licm"
+        assert ledger.query(tag="nope") == []
+
+    def test_jsonl_is_one_valid_object_per_line(self):
+        ledger = explain(CALL_BLOCKED, Analysis.MODREF)
+        lines = ledger.jsonl().splitlines()
+        assert len(lines) == len(ledger)
+        for line in lines:
+            payload = json.loads(line)
+            assert {"pass", "function", "action"} <= set(payload)
+
+    def test_table_renders_every_decision(self):
+        ledger = explain(CALL_BLOCKED, Analysis.MODREF)
+        table = format_decision_table(ledger.decisions)
+        assert "ambiguous-via-call" in table
+        assert "bump" in table
+        assert format_decision_table([]) == "(no decisions recorded)"
+
+    def test_trim_tag_names_caps_huge_sets(self):
+        names = trim_tag_names([f"t{i:03d}" for i in range(50)], limit=5)
+        assert len(names) == 6
+        assert names[-1] == "... +45 more"
+
+
+class TestZeroCostWhenOff:
+    @pytest.mark.parametrize("analysis", [Analysis.MODREF, Analysis.POINTER])
+    def test_compile_without_ledger_records_nothing(self, analysis):
+        compile_source(POINTER_BLOCKED, PipelineOptions(analysis=analysis))
+        assert current_ledger() is None

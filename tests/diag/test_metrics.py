@@ -1,0 +1,96 @@
+"""The metrics registry, its pipeline integration, and logging setup."""
+
+import logging
+
+from repro.diag.log import get_logger, setup_logging
+from repro.diag.metrics import (
+    MetricsRegistry,
+    current_registry,
+    inc_metric,
+    metrics_session,
+    set_gauge,
+)
+from repro.pipeline import PipelineOptions, compile_and_run
+
+from tests.runner.helpers import GOOD_SOURCE
+
+
+class TestRegistry:
+    def test_counters_accumulate_and_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.inc("hits")
+        registry.inc("hits", 2)
+        registry.set_gauge("depth", 5)
+        registry.set_gauge("depth", 3)
+        assert registry.get("hits") == 3
+        assert registry.get("depth") == 3
+        assert registry.get("absent", -1) == -1
+        assert len(registry) == 2
+
+    def test_as_dict_is_sorted(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        assert list(registry.as_dict()) == ["a", "b"]
+
+    def test_helpers_are_noops_without_session(self):
+        assert current_registry() is None
+        inc_metric("x")
+        set_gauge("y", 1)
+        assert current_registry() is None
+
+    def test_sessions_nest_and_restore(self):
+        with metrics_session() as outer:
+            inc_metric("n")
+            with metrics_session() as inner:
+                inc_metric("n", 10)
+            assert current_registry() is outer
+            assert inner.get("n") == 10
+        assert current_registry() is None
+        assert outer.get("n") == 1
+
+
+class TestPipelinePublishes:
+    def test_compile_and_run_publishes_cell_metrics(self):
+        with metrics_session() as registry:
+            compile_and_run(GOOD_SOURCE, PipelineOptions())
+        values = registry.as_dict()
+        assert values["interp.total_ops"] > 0
+        assert values["interp.loads"] >= 0
+        assert values["promotion.tags_promoted"] >= 1  # `total` promotes
+        assert "licm.hoisted" in values
+
+    def test_promotion_disabled_publishes_no_promotion_gauges(self):
+        with metrics_session() as registry:
+            compile_and_run(GOOD_SOURCE, PipelineOptions(promotion=False))
+        assert "promotion.tags_promoted" not in registry.as_dict()
+
+
+class TestLogging:
+    def test_get_logger_roots_under_repro(self):
+        assert get_logger("repro.pipeline").name == "repro.pipeline"
+        assert get_logger("__main__").name == "repro.__main__"
+
+    def test_verbosity_levels(self):
+        assert setup_logging(-1).level == logging.ERROR
+        assert setup_logging(0).level == logging.WARNING
+        assert setup_logging(1).level == logging.INFO
+        assert setup_logging(2).level == logging.DEBUG
+        assert setup_logging(99).level == logging.DEBUG  # clamped
+        setup_logging(0)  # leave the default behind for other tests
+
+    def test_setup_is_idempotent(self):
+        root = setup_logging(0)
+        before = len(root.handlers)
+        setup_logging(1)
+        setup_logging(0)
+        assert len(root.handlers) == before
+
+    def test_messages_reach_the_configured_stream(self):
+        import io
+
+        stream = io.StringIO()
+        setup_logging(1, stream=stream)
+        get_logger("repro.test_metrics").info("hello %d", 42)
+        assert "hello 42" in stream.getvalue()
+        setup_logging(0)

@@ -72,6 +72,76 @@ class TestCompare:
         assert "span" in capsys.readouterr().err
 
 
+class TestRunProfile:
+    def test_profile_prints_hot_loop_table(self, c_file, capsys):
+        assert main(["run", c_file, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "visits" in err
+        assert "main@" in err
+
+    def test_profile_leaves_stdout_untouched(self, c_file, capsys):
+        main(["run", c_file])
+        plain = capsys.readouterr().out
+        main(["run", c_file, "--profile"])
+        profiled = capsys.readouterr().out
+        assert profiled == plain
+
+
+class TestCompareExtras:
+    def test_promotion_summary_per_variant(self, c_file, capsys):
+        assert main(["compare", c_file]) == 0
+        out = capsys.readouterr().out
+        assert "promotion summary:" in out
+        assert "promotion disabled" in out  # the nopromo rows
+        assert "tag(s) promoted" in out
+        assert "lifted main@" in out  # `total` lifts out of the loop
+
+    def test_profile_comparison_tables(self, c_file, capsys):
+        assert main(["compare", c_file, "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "per-loop memory traffic (modref):" in err
+        assert "per-loop memory traffic (pointer):" in err
+        assert "mem removed" in err
+
+
+class TestExplain:
+    def test_promotion_decision_in_table(self, c_file, capsys):
+        assert main(["explain", c_file, "--pass", "promotion"]) == 0
+        out = capsys.readouterr().out
+        assert "promotion" in out
+        assert "total" in out
+        assert "promoted" in out
+
+    def test_tag_filter_and_json(self, c_file, capsys):
+        import json
+
+        assert main(["explain", c_file, "--tag", "total", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert json.loads(line)["tag"] == "total"
+
+    def test_no_matches_renders_empty_table(self, c_file, capsys):
+        assert main(["explain", c_file, "--tag", "nonesuch"]) == 0
+        assert "(no decisions recorded)" in capsys.readouterr().out
+
+
+class TestVerbosity:
+    def test_verbose_before_or_after_subcommand(self, c_file, capsys):
+        assert main(["-v", "run", c_file]) == 0
+        before = capsys.readouterr().err
+        assert "INFO repro.pipeline" in before
+        assert main(["run", c_file, "-v"]) == 0
+        assert "INFO repro.pipeline" in capsys.readouterr().err
+
+    def test_default_hides_info_logs(self, c_file, capsys):
+        assert main(["run", c_file]) == 0
+        assert "INFO repro" not in capsys.readouterr().err
+
+    def test_quiet_flag_accepted(self, c_file, capsys):
+        assert main(["-q", "run", c_file]) == 0
+
+
 class TestIR:
     def test_ir_prints_module(self, c_file, capsys):
         assert main(["ir", c_file]) == 0

@@ -70,6 +70,10 @@ class TestSuiteReport:
         for cell in cells.values():
             assert cell["counters"]["total_ops"] > 0
             assert cell["exit_code"] == 0
+            # cells carry the metrics snapshot the drift gate consumes
+            assert cell["metrics"]["interp.total_ops"] == (
+                cell["counters"]["total_ops"]
+            )
         crash = payload["programs"]["crasher"]["failures"]["modref/promo"]
         assert crash["kind"] == "crash"
         assert crash["attempts"] == 1

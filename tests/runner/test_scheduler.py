@@ -42,6 +42,19 @@ class TestInline:
         with pytest.raises(ValueError, match="duplicate"):
             run_cells([spec, spec], jobs=1)
 
+    def test_cells_capture_published_metrics(self):
+        spec = make_spec()
+        data = run_cells([spec], jobs=1)[spec.key]
+        assert data.metrics["interp.total_ops"] == data.counters.total_ops
+        assert "promotion.tags_promoted" in data.metrics
+
+    def test_metrics_survive_the_cache_round_trip(self):
+        spec = make_spec()
+        data = run_cells([spec], jobs=1)[spec.key]
+        clone = CellData.from_cache_payload(spec, data.cache_payload())
+        assert clone.metrics == data.metrics
+        assert clone.from_cache
+
 
 class TestPooled:
     def test_crash_does_not_abort_siblings(self):

@@ -11,6 +11,8 @@ from repro.runner.telemetry import (
     chrome_trace,
     current_trace,
     format_span_summary,
+    module_op_breakdown,
+    module_op_count,
     span,
     tracing,
 )
@@ -89,6 +91,49 @@ class TestPipelineIntegration:
         compile_and_run(GOOD_SOURCE, PipelineOptions())
         assert current_trace() is None
 
+    def test_pass_spans_carry_opcode_class_deltas(self):
+        with tracing() as trace:
+            compile_and_run(GOOD_SOURCE, PipelineOptions())
+        deltas = [
+            event.args["ops_by_class_delta"]
+            for event in trace.events
+            if "ops_by_class_delta" in event.args
+        ]
+        assert deltas, "some pass should change the instruction mix"
+        # only nonzero classes are recorded
+        for delta in deltas:
+            assert all(v != 0 for v in delta.values())
+            assert set(delta) <= {
+                "loads", "stores", "copies", "calls", "branches", "other"
+            }
+        # promotion's whole point: some pass removes loads
+        assert any(delta.get("loads", 0) < 0 for delta in deltas)
+
+
+class TestOpBreakdown:
+    def test_breakdown_matches_op_count_minus_nops(self):
+        from repro.frontend import compile_c
+        from repro.ir.instructions import Nop
+
+        module = compile_c(GOOD_SOURCE)
+        breakdown = module_op_breakdown(module)
+        nops = sum(
+            1
+            for func in module.functions.values()
+            for instr in func.instructions()
+            if isinstance(instr, Nop)
+        )
+        assert sum(breakdown.values()) == module_op_count(module) - nops
+
+    def test_loop_program_has_loads_stores_and_branches(self):
+        from repro.frontend import compile_c
+
+        breakdown = module_op_breakdown(compile_c(GOOD_SOURCE))
+        assert breakdown["loads"] > 0
+        assert breakdown["stores"] > 0
+        assert breakdown["branches"] > 0
+        assert breakdown["calls"] > 0  # printf
+
 
 class TestExport:
     def _traced_groups(self):
@@ -113,6 +158,7 @@ class TestExport:
         summary = format_span_summary(groups)
         assert "promotion" in summary
         assert "ops removed" in summary
+        assert "loads removed" in summary
 
     def test_write_chrome_trace(self, tmp_path):
         out = tmp_path / "trace.json"
