@@ -1,0 +1,157 @@
+"""Interpreter throughput benchmark — the ``repro bench`` command.
+
+Runs workload programs under both execution engines (the block-threaded
+default and the per-instruction reference loop), checks that the two
+agree on every observable (counters, output, exit code — the same
+contract the differential oracle in ``tests/interp/test_engine_equiv.py``
+enforces), and reports wall-clock and ops/sec per program.  The result is
+written as ``BENCH_interp.json`` so the interpreter's performance
+trajectory is tracked in-repo; see ``docs/PERFORMANCE.md`` for how to
+read it.
+
+Timing covers interpretation only (compilation is outside the clock).
+Each engine runs ``repeats`` times on the same compiled module and the
+best wall time wins, so the threaded numbers reflect the warm decode
+cache — the steady state the suite runner actually sees.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+
+from .errors import ReproError
+from .interp import Machine, MachineOptions
+from .pipeline import PipelineOptions, compile_source
+from .workloads import all_workloads, get_workload
+
+#: small-but-representative subset for CI (``repro bench --quick``)
+QUICK_PROGRAMS = ("dhrystone", "fft", "mlink", "tsp")
+
+ENGINES = ("simple", "threaded")
+
+BENCH_SCHEMA = 1
+
+
+def bench_interpreters(
+    names: list[str] | None = None,
+    *,
+    repeats: int = 2,
+    max_steps: int = 500_000_000,
+    options: PipelineOptions | None = None,
+) -> dict:
+    """Benchmark both engines over ``names`` (default: all 14 workloads).
+
+    Returns the ``BENCH_interp.json`` payload: per program and engine,
+    ``{wall_s, total_ops, ops_per_sec, engine, speedup_vs_simple}``.
+    Raises :class:`~repro.errors.ReproError` if the engines disagree on
+    any observable — a benchmark of two engines computing different
+    things would be meaningless.
+    """
+    options = options or PipelineOptions()
+    workloads = (
+        [get_workload(name) for name in names] if names else all_workloads()
+    )
+    programs: dict[str, dict] = {}
+    for workload in workloads:
+        runs: dict[str, tuple[float, object]] = {}
+        for engine in ENGINES:
+            module = compile_source(
+                workload.source, options, name=workload.name,
+                defines=workload.defines,
+            ).module
+            machine_options = MachineOptions(engine=engine, max_steps=max_steps)
+            best = math.inf
+            result = None
+            for _ in range(max(repeats, 1)):
+                machine = Machine(module, machine_options)
+                started = time.perf_counter()
+                result = machine.run()
+                best = min(best, time.perf_counter() - started)
+            runs[engine] = (best, result)
+        simple_wall, simple_run = runs["simple"]
+        threaded_wall, threaded_run = runs["threaded"]
+        if (
+            simple_run.counters != threaded_run.counters
+            or simple_run.output != threaded_run.output
+            or simple_run.exit_code != threaded_run.exit_code
+        ):
+            raise ReproError(
+                f"engines disagree on {workload.name}: "
+                f"simple {simple_run.counters} exit {simple_run.exit_code} vs "
+                f"threaded {threaded_run.counters} exit {threaded_run.exit_code}"
+            )
+        entry: dict[str, dict] = {}
+        for engine in ENGINES:
+            wall, run = runs[engine]
+            wall = max(wall, 1e-9)
+            ops = run.counters.total_ops
+            entry[engine] = {
+                "wall_s": round(wall, 6),
+                "total_ops": ops,
+                "ops_per_sec": round(ops / wall, 1),
+                "engine": engine,
+                "speedup_vs_simple": 1.0,
+            }
+        entry["threaded"]["speedup_vs_simple"] = round(
+            max(simple_wall, 1e-9) / max(threaded_wall, 1e-9), 3
+        )
+        programs[workload.name] = entry
+
+    speedups = [
+        entry["threaded"]["speedup_vs_simple"] for entry in programs.values()
+    ]
+    geomean = (
+        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        if speedups
+        else 0.0
+    )
+    return {
+        "schema": BENCH_SCHEMA,
+        "repeats": max(repeats, 1),
+        "max_steps": max_steps,
+        "programs": programs,
+        "summary": {
+            "programs": len(programs),
+            "geomean_speedup": round(geomean, 3),
+            "min_speedup": round(min(speedups), 3) if speedups else 0.0,
+            "max_speedup": round(max(speedups), 3) if speedups else 0.0,
+            "total_wall_simple_s": round(
+                sum(e["simple"]["wall_s"] for e in programs.values()), 6
+            ),
+            "total_wall_threaded_s": round(
+                sum(e["threaded"]["wall_s"] for e in programs.values()), 6
+            ),
+        },
+    }
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable table for one bench payload."""
+    lines = [
+        f"{'program':<12} {'engine':<9} {'wall s':>10} {'total ops':>12} "
+        f"{'ops/sec':>14} {'speedup':>8}",
+        "-" * 70,
+    ]
+    for name, entry in payload["programs"].items():
+        for engine in ENGINES:
+            cell = entry[engine]
+            lines.append(
+                f"{name:<12} {engine:<9} {cell['wall_s']:>10.4f} "
+                f"{cell['total_ops']:>12} {cell['ops_per_sec']:>14,.0f} "
+                f"{cell['speedup_vs_simple']:>7.2f}x"
+            )
+    summary = payload["summary"]
+    lines.append("-" * 70)
+    lines.append(
+        f"geomean speedup {summary['geomean_speedup']:.2f}x over "
+        f"{summary['programs']} program(s) "
+        f"(min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def write_bench_json(path: str | Path, payload: dict) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

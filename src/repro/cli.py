@@ -22,6 +22,13 @@ Commands
 ``drift BASELINE.json``
     Run the suite and diff its metrics against a checked-in baseline;
     non-zero exit on gated regressions.  ``--update`` re-baselines.
+``bench [PROGRAM ...]``
+    Time the benchmark programs under both interpreter engines and write
+    ``BENCH_interp.json`` (``--quick`` for the CI subset).
+
+Commands that execute programs accept ``--engine threaded|simple`` to
+pick the interpreter engine (default: the block-threaded one; both
+produce bit-identical counters and output).
 
 Global ``-v``/``-vv`` raise log verbosity (INFO/DEBUG); ``-q`` silences
 warnings.  The flags are accepted both before and after the subcommand.
@@ -55,6 +62,15 @@ def _pipeline_options(args: argparse.Namespace) -> PipelineOptions:
     )
 
 
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["threaded", "simple"],
+        default="threaded",
+        help="interpreter engine (default: threaded; both are bit-identical)",
+    )
+
+
 def _add_variant_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--analysis",
@@ -75,7 +91,9 @@ def _add_variant_flags(parser: argparse.ArgumentParser) -> None:
 def cmd_run(args: argparse.Namespace) -> int:
     source = Path(args.file).read_text()
     options = _pipeline_options(args)
-    machine = MachineOptions(max_steps=args.max_steps, profile=args.profile)
+    machine = MachineOptions(
+        max_steps=args.max_steps, profile=args.profile, engine=args.engine
+    )
     compiled = compile_source(source, options, name=Path(args.file).stem)
     run = run_module(compiled.module, options=machine)
     sys.stdout.write(run.output)
@@ -126,7 +144,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
     source = Path(args.file).read_text()
     stem = Path(args.file).stem
-    machine = MachineOptions(max_steps=args.max_steps, profile=args.profile)
+    machine = MachineOptions(
+        max_steps=args.max_steps, profile=args.profile, engine=args.engine
+    )
     cells: dict[str, ExperimentCell] = {}
     profiles: dict[str, list] = {}
     trace_groups = {}
@@ -259,6 +279,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         names,
         pointer_promotion=args.pointer_promotion,
         max_steps=args.max_steps,
+        engine=args.engine,
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
@@ -291,6 +312,31 @@ def cmd_suite(args: argparse.Namespace) -> int:
     return report.exit_code()
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        QUICK_PROGRAMS,
+        bench_interpreters,
+        format_bench,
+        write_bench_json,
+    )
+    from .workloads import workload_names
+
+    names = args.programs or (list(QUICK_PROGRAMS) if args.quick else None)
+    if names:
+        unknown = sorted(set(names) - set(workload_names()))
+        if unknown:
+            print(f"unknown workloads: {unknown}", file=sys.stderr)
+            print(f"available: {workload_names()}", file=sys.stderr)
+            return 2
+    payload = bench_interpreters(
+        names, repeats=args.repeats, max_steps=args.max_steps
+    )
+    print(format_bench(payload))
+    write_bench_json(args.out, payload)
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_drift(args: argparse.Namespace) -> int:
     from .diag.drift import (
         compare_cells,
@@ -316,6 +362,7 @@ def cmd_drift(args: argparse.Namespace) -> int:
         names,
         pointer_promotion=args.pointer_promotion,
         max_steps=args.max_steps,
+        engine=args.engine,
         jobs=args.jobs,
         cache=cache,
         timeout=args.timeout,
@@ -391,6 +438,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-steps", type=int, default=500_000_000)
     p_run.add_argument("--profile", action="store_true",
                        help="count block executions; print a hot-loop table")
+    _add_engine_flag(p_run)
     _add_variant_flags(p_run)
     p_run.set_defaults(func=cmd_run)
 
@@ -404,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-variant counters as JSON")
     p_cmp.add_argument("--trace", metavar="FILE",
                        help="write a Chrome-trace JSON of per-pass timings")
+    _add_engine_flag(p_cmp)
     p_cmp.set_defaults(func=cmd_compare)
 
     p_exp = add_command("explain", "show why passes made their decisions")
@@ -445,7 +494,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the machine-readable suite.json")
     p_suite.add_argument("--trace", metavar="FILE",
                          help="write a Chrome-trace JSON of per-pass timings")
+    _add_engine_flag(p_suite)
     p_suite.set_defaults(func=cmd_suite)
+
+    p_bench = add_command(
+        "bench", "time the interpreter engines and write BENCH_interp.json"
+    )
+    p_bench.add_argument("programs", nargs="*",
+                         help="workload subset (default: all 14)")
+    p_bench.add_argument("--quick", action="store_true",
+                         help="CI subset: " + " ".join(
+                             ("dhrystone", "fft", "mlink", "tsp")))
+    p_bench.add_argument("--repeats", type=int, default=2,
+                         help="runs per engine, best wall time wins (default 2)")
+    p_bench.add_argument("--max-steps", type=int, default=500_000_000)
+    p_bench.add_argument("--out", default="BENCH_interp.json",
+                         help="output path (default: BENCH_interp.json)")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_drift = add_command("drift", "gate suite metrics against a baseline")
     p_drift.add_argument("baseline",
@@ -464,6 +529,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always recompute, don't touch the result cache")
     p_drift.add_argument("--cache-dir", default=".repro-cache",
                          help="result cache location (default: .repro-cache)")
+    _add_engine_flag(p_drift)
     p_drift.set_defaults(func=cmd_drift)
 
     return parser

@@ -8,6 +8,23 @@ complement integer arithmetic, truncating integer division, IEEE doubles.
 The machine is also the *substitute for the paper's hardware testbed*: the
 paper instrumented compiled binaries; we instrument IL execution, which
 measures the same three quantities exactly (and deterministically).
+
+Two execution engines share this measurement contract:
+
+``threaded`` (the default)
+    The block-threaded engine in :mod:`repro.interp.engine`: each basic
+    block is decoded once into a specialized closure with addresses,
+    register indices, and callees resolved at decode time, and counters
+    folded in as per-block batches.  Observable behavior — counters,
+    output, exit code, ``clock()`` values, traps, ``max_steps``
+    exhaustion, and ``block_visits`` under profiling — is bit-identical
+    to the reference engine (enforced by the differential oracle in
+    ``tests/interp/test_engine_equiv.py``).
+
+``simple``
+    The reference semantics: the per-instruction dispatch loop in
+    :meth:`Machine._exec_function` below.  Kept deliberately direct so it
+    stays auditable against the IL specification.
 """
 
 from __future__ import annotations
@@ -99,6 +116,9 @@ class MachineOptions:
     #: count per-block executions for per-loop attribution; the default
     #: (off) path allocates nothing and does no per-instruction work
     profile: bool = False
+    #: execution engine: ``"threaded"`` (block-threaded, pre-decoded — the
+    #: default) or ``"simple"`` (the per-instruction reference loop)
+    engine: str = "threaded"
 
 
 class Machine:
@@ -118,24 +138,43 @@ class Machine:
         self._rand_state = self.options.rand_seed
         self._call_depth = 0
         self._heap_site_of_addr: dict[int, int] = {}
+        # hot-path bindings: the execution engines read these every call
+        # instead of chasing option/module attribute chains
+        self._max_steps = self.options.max_steps
+        self._functions = module.functions
 
     # -- public API --------------------------------------------------------
     def run(self, entry: str = "main") -> RunResult:
         func = self.module.functions.get(entry)
         if func is None:
             raise InterpError(f"no entry function {entry!r}")
+        engine_name = self.options.engine
+        if engine_name not in ("threaded", "simple"):
+            raise InterpError(f"unknown interpreter engine {engine_name!r}")
         # the interpreter recurses once per interpreted call; make room in
-        # the Python stack for the machine's own depth limit
+        # the Python stack for the machine's own depth limit, restoring
+        # the caller's limit once the run is over
         import sys
 
-        if sys.getrecursionlimit() < 40_000:
+        old_limit = sys.getrecursionlimit()
+        bumped = old_limit < 40_000
+        if bumped:
             sys.setrecursionlimit(40_000)
         try:
-            value = self._exec_function(func, [])
-            code = int(value) if isinstance(value, (int, float)) else 0
-        except _ProgramExit as exit_:
-            value = None
-            code = exit_.code
+            try:
+                if engine_name == "threaded":
+                    from . import engine as _engine
+
+                    value = _engine.exec_entry(self, func)
+                else:
+                    value = self._exec_function(func, [])
+                code = int(value) if isinstance(value, (int, float)) else 0
+            except _ProgramExit as exit_:
+                value = None
+                code = exit_.code
+        finally:
+            if bumped:
+                sys.setrecursionlimit(old_limit)
         result = RunResult(
             exit_code=wrap_int(code) & 0xFF if code >= 0 else code,
             counters=self.counters,
@@ -285,20 +324,20 @@ class Machine:
         raise InterpError(f"tag {tag.name} has no address")
 
     def _exec_call(self, instr: Call, regs: list[int | float]) -> int | float | None:
-        args = [regs[a.id] for a in instr.args]
         name = instr.callee
         if name is None:
             raise InterpError("indirect calls are not executable in this build")
-        target = self.module.functions.get(name)
+        args = [regs[a.id] for a in instr.args]
+        target = self._functions.get(name)
         if target is not None:
             return self._exec_function(target, args)
         if is_intrinsic(name):
-            return self._exec_intrinsic(name, args, instr)
+            return self._exec_intrinsic(name, args, instr.site_id)
         raise InterpError(f"call to unknown function {name!r}")
 
     # -- intrinsics ---------------------------------------------------------
     def _exec_intrinsic(
-        self, name: str, args: list[int | float], instr: Call
+        self, name: str, args: list[int | float] | tuple, site_id: int = -1
     ) -> int | float | None:
         mem = self.mem
         if name == "printf":
@@ -319,7 +358,7 @@ class Machine:
             else:
                 size = int(args[0])
             addr = mem.allocate(max(size, 1))
-            self._heap_site_of_addr[addr] = instr.site_id
+            self._heap_site_of_addr[addr] = site_id
             return addr
         if name == "free":
             mem.free(int(args[0]))
@@ -350,13 +389,25 @@ class Machine:
             return None
         if name == "memset":
             base, value, count = int(args[0]), int(args[1]), int(args[2])
-            for i in range(count):
-                mem.cells[base + i] = value & 0xFF if value else 0
+            if count > 0:
+                byte = value & 0xFF if value else 0
+                mem.cells.update(dict.fromkeys(range(base, base + count), byte))
             return base
         if name == "memcpy":
             dst, src, count = int(args[0]), int(args[1]), int(args[2])
-            for i in range(count):
-                mem.cells[dst + i] = mem.cells.get(src + i, 0)
+            if count > 0:
+                cells = mem.cells
+                if src < dst < src + count:
+                    # forward-overlapping copy: the byte-at-a-time loop
+                    # re-reads cells this same call wrote (C's memcpy UB;
+                    # preserved exactly for determinism)
+                    get = cells.get
+                    for i in range(count):
+                        cells[dst + i] = get(src + i, 0)
+                else:
+                    get = cells.get
+                    values = [get(src + i, 0) for i in range(count)]
+                    cells.update(zip(range(dst, dst + count), values))
             return dst
         if name == "strlen":
             return len(mem.read_c_string(int(args[0])))
@@ -401,7 +452,9 @@ class Machine:
                 out.append("%")
             elif conv in "dioux":
                 value = int(next(arg_iter, 0))
-                out.append(_c_format(spec.replace("l", ""), value))
+                # strip every length modifier: Python's % has no l/h, and
+                # our ints are 64-bit whole values regardless of width
+                out.append(_c_format(spec.replace("l", "").replace("h", ""), value))
             elif conv in "feg":
                 value = float(next(arg_iter, 0.0))
                 out.append(_c_format(spec, value))

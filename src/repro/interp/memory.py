@@ -70,21 +70,31 @@ class MemoryImage:
             addr = _align(addr + len(data) + 1)
 
     # -- stack frames -----------------------------------------------------
-    def push_frame(self, tags: list[Tag], sizes: dict[str, int]) -> dict[str, int]:
+    def push_frame_slots(self, tags: list[Tag], sizes: dict[str, int]) -> list[int]:
         """Allocate one activation's address for each local tag.
 
-        Returns ``tag name -> address``.  Sizes default to one word.
+        Returns the addresses as a list parallel to ``tags`` — the
+        block-threaded engine resolves each local tag to its position in
+        ``tags`` once at decode time, so a frame push is one list build
+        and every later access is a plain index.  Sizes default to one
+        word.
         """
-        addrs: dict[str, int] = {}
+        addrs: list[int] = []
         ptr = self.stack_ptr
         for tag in tags:
             size = sizes.get(tag.name, _ALIGN)
-            addrs[tag.name] = ptr
+            addrs.append(ptr)
             ptr = _align(ptr + max(size, 1))
         if ptr > STACK_LIMIT:
             raise InterpError("interpreted program overflowed its stack")
         self.stack_ptr = ptr
         return addrs
+
+    def push_frame(self, tags: list[Tag], sizes: dict[str, int]) -> dict[str, int]:
+        """Like :meth:`push_frame_slots`, returning ``tag name -> address``
+        (the reference engine's by-name view; layout is identical)."""
+        slots = self.push_frame_slots(tags, sizes)
+        return {tag.name: addr for tag, addr in zip(tags, slots)}
 
     def pop_frame(self, saved_stack_ptr: int) -> None:
         self.stack_ptr = saved_stack_ptr

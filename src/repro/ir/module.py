@@ -62,6 +62,14 @@ class Module:
         self.addressed_functions: set[str] = set()
         self._next_site = 0
 
+    def __getstate__(self) -> dict:
+        # the block-threaded interpreter caches compiled closures on the
+        # module (see repro.interp.engine); they are unpicklable and
+        # cheap to rebuild, so drop them from pickles and deep copies
+        state = self.__dict__.copy()
+        state.pop("_decoded", None)
+        return state
+
     # -- functions -------------------------------------------------------
     def add_function(self, func: Function) -> Function:
         if func.name in self.functions:

@@ -261,9 +261,12 @@ def compile_and_run(
     machine_options: MachineOptions | None = None,
 ) -> ExperimentCell:
     options = options or PipelineOptions()
+    machine_options = machine_options or MachineOptions()
     with span("compile", variant=options.variant_name()):
         compiled = compile_source(source, options, name=name, defines=defines)
-    with span("execute", variant=options.variant_name()):
+    with span(
+        "execute", variant=options.variant_name(), engine=machine_options.engine
+    ):
         run: RunResult = run_module(compiled.module, options=machine_options)
     # the interpreter's contribution to the cell's metrics snapshot
     set_gauge("interp.total_ops", run.counters.total_ops)

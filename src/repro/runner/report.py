@@ -58,6 +58,8 @@ class SuiteReport:
     jobs: int = 1
     cache_hits: int = 0
     cache_misses: int = 0
+    #: interpreter engine every cell ran under (threaded | simple)
+    engine: str = "threaded"
 
     @property
     def ok(self) -> bool:
@@ -108,6 +110,7 @@ class SuiteReport:
             "schema": SCHEMA_VERSION,
             "ok": self.ok,
             "jobs": self.jobs,
+            "engine": self.engine,
             "seconds": round(self.seconds, 6),
             "cache": {"hits": self.cache_hits, "misses": self.cache_misses},
             "programs": programs,
@@ -124,9 +127,10 @@ def build_suite_specs(
     pointer_promotion: bool = False,
     regalloc: RegAllocOptions | None = None,
     max_steps: int = 50_000_000,
+    engine: str = "threaded",
 ) -> list[CellSpec]:
     """The full matrix: one spec per (workload, paper variant)."""
-    machine = MachineOptions(max_steps=max_steps)
+    machine = MachineOptions(max_steps=max_steps, engine=engine)
     specs: list[CellSpec] = []
     for workload in workloads:
         for variant, options in paper_variants(
@@ -207,6 +211,7 @@ def run_suite_report(
     pointer_promotion: bool = False,
     regalloc: RegAllocOptions | None = None,
     max_steps: int = 50_000_000,
+    engine: str = "threaded",
     jobs: int = 1,
     cache: ResultCache | None = None,
     timeout: float | None = None,
@@ -226,6 +231,7 @@ def run_suite_report(
         pointer_promotion=pointer_promotion,
         regalloc=regalloc,
         max_steps=max_steps,
+        engine=engine,
     )
     started = time.perf_counter()
     outcomes = run_cells(
@@ -251,6 +257,7 @@ def run_suite_report(
         jobs=jobs,
         cache_hits=cache.hits if cache is not None else 0,
         cache_misses=cache.misses if cache is not None else 0,
+        engine=engine,
     )
 
 

@@ -1,0 +1,208 @@
+"""Differential oracle: block-threaded engine vs the reference loop.
+
+The threaded engine's contract is *bit-identical observables* — counters
+(every field), output, exit code, ``block_visits`` under profiling,
+``clock()`` values, traps, and the exact operation count at which
+``max_steps`` exhaustion fires.  These tests enforce the contract over
+the whole 14-program benchmark suite at -O0 and through the full
+pipeline, plus targeted boundary cases the suite cannot hit.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+import sys
+
+import pytest
+
+from repro.errors import InterpError, InterpTrap, ResourceLimitError
+from repro.interp import Machine, MachineOptions, invalidate_decoded
+from repro.ir.instructions import LoadI
+from repro.pipeline import Analysis, PipelineOptions, compile_source
+from repro.workloads import get_workload, workload_names
+
+O0 = PipelineOptions(
+    analysis=Analysis.NONE,
+    promotion=False,
+    pointer_promotion=False,
+    value_numbering=False,
+    constant_propagation=False,
+    licm=False,
+    pre=False,
+    dce=False,
+    clean=False,
+    run_regalloc=False,
+)
+FULL = PipelineOptions()
+
+PIPELINES = {"O0": O0, "full": FULL}
+
+
+def _module(workload, options):
+    return compile_source(
+        workload.source, options, name=workload.name, defines=workload.defines
+    ).module
+
+
+def _run(module, engine, **kwargs):
+    options = MachineOptions(engine=engine, profile=True, **kwargs)
+    return Machine(module, options).run()
+
+
+def _assert_identical(simple, threaded, context):
+    assert simple.counters.as_dict() == threaded.counters.as_dict(), context
+    assert simple.output == threaded.output, context
+    assert simple.exit_code == threaded.exit_code, context
+    assert simple.returned == threaded.returned, context
+    assert simple.block_visits == threaded.block_visits, context
+
+
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("pipeline", list(PIPELINES))
+def test_workload_observables_identical(name, pipeline):
+    workload = get_workload(name)
+    options = PIPELINES[pipeline]
+    simple = _run(_module(workload, options), "simple")
+    module = _module(workload, options)
+    threaded = _run(module, "threaded")
+    _assert_identical(simple, threaded, f"{name}/{pipeline}")
+    # a second run on the same module exercises the warm decode cache
+    rerun = _run(module, "threaded")
+    _assert_identical(threaded, rerun, f"{name}/{pipeline} warm rerun")
+
+
+class TestMaxStepsExhaustion:
+    """The limit fires at the same op count, with the same message, and
+    leaves the counters in the same state under both engines."""
+
+    def _modules(self):
+        workload = get_workload("fft")
+        return lambda: _module(workload, FULL)
+
+    def test_limit_boundary(self):
+        fresh = self._modules()
+        total = _run(fresh(), "threaded").counters.total_ops
+        for engine in ("simple", "threaded"):
+            # exactly enough steps: completes
+            run = _run(fresh(), engine, max_steps=total)
+            assert run.counters.total_ops == total
+            # one short (and much shorter): raises
+            for limit in (total - 1, total // 2, 1):
+                machine = Machine(
+                    fresh(), MachineOptions(engine=engine, max_steps=limit)
+                )
+                with pytest.raises(ResourceLimitError) as exc:
+                    machine.run()
+                assert str(exc.value) == (
+                    f"exceeded {limit} executed operations"
+                )
+                if engine == "simple":
+                    states = getattr(self, "_states", {})
+                    states[limit] = machine.counters.as_dict()
+                    self._states = states
+                else:
+                    assert machine.counters.as_dict() == self._states[limit]
+
+
+def test_clock_values_identical():
+    source = r"""
+    int main(void) {
+        int t0 = clock();
+        int i; int s = 0;
+        for (i = 0; i < 100; i = i + 1) { s = s + i; }
+        int t1 = clock();
+        printf("c0=%d c1=%d s=%d\n", t0, t1, s);
+        return 0;
+    }
+    """
+    outputs = set()
+    for engine in ("simple", "threaded"):
+        module = compile_source(source, FULL).module
+        outputs.add(_run(module, engine).output)
+    assert len(outputs) == 1
+
+
+def test_trap_identical():
+    source = 'int main(void) { int a = 7; int b = 0; printf("%d", a / b); return 0; }'
+    messages = set()
+    for engine in ("simple", "threaded"):
+        module = compile_source(source, FULL).module
+        with pytest.raises(InterpTrap) as exc:
+            _run(module, engine)
+        messages.add(str(exc.value))
+    assert messages == {"integer division by zero"}
+
+
+def test_deep_recursion_limit_identical():
+    source = r"""
+    int f(int n) { if (n == 0) { return 0; } return f(n - 1); }
+    int main(void) { return f(5000); }
+    """
+    messages = set()
+    for engine in ("simple", "threaded"):
+        module = compile_source(source, O0).module
+        with pytest.raises(ResourceLimitError) as exc:
+            _run(module, engine)
+        messages.add(str(exc.value))
+    assert messages == {"interpreted call stack too deep"}
+
+
+def test_unknown_engine_rejected():
+    module = compile_source("int main(void) { return 0; }", O0).module
+    with pytest.raises(InterpError, match="unknown interpreter engine"):
+        Machine(module, MachineOptions(engine="jit")).run()
+
+
+class TestDecodeCache:
+    def test_cache_lives_on_module_and_pickles_away(self):
+        module = compile_source("int main(void) { return 3; }", O0).module
+        _run(module, "threaded")
+        assert hasattr(module, "_decoded")
+        clone = pickle.loads(pickle.dumps(module))
+        assert not hasattr(clone, "_decoded")
+        assert _run(clone, "threaded").exit_code == 3
+        deep = copy.deepcopy(module)
+        assert not hasattr(deep, "_decoded")
+        assert _run(deep, "threaded").exit_code == 3
+
+    def test_invalidate_decoded(self):
+        module = compile_source("int main(void) { return 3; }", O0).module
+        _run(module, "threaded")
+        invalidate_decoded(module)
+        assert not hasattr(module, "_decoded")
+        assert _run(module, "threaded").exit_code == 3
+        invalidate_decoded(module)  # idempotent on a cold module
+
+    def test_instruction_replacement_invalidates(self):
+        # passes rewrite programs by splicing in new instruction objects;
+        # the staleness signature must notice and re-decode
+        module = compile_source(
+            'int main(void) { printf("%d\\n", 7); return 0; }', O0
+        ).module
+        assert _run(module, "threaded").output == "7\n"
+        for func in module.functions.values():
+            for block in func.blocks.values():
+                block.instrs = [
+                    LoadI(i.dst, 8)
+                    if isinstance(i, LoadI) and i.value == 7
+                    else i
+                    for i in block.instrs
+                ]
+        assert _run(module, "threaded").output == "8\n"
+
+
+def test_recursion_limit_restored_after_run():
+    old = sys.getrecursionlimit()
+    module = compile_source("int main(void) { return 0; }", O0).module
+    for engine in ("simple", "threaded"):
+        Machine(module, MachineOptions(engine=engine)).run()
+        assert sys.getrecursionlimit() == old
+
+    # restored even when the run raises
+    trap = compile_source(
+        "int main(void) { int z = 0; return 1 / z; }", O0
+    ).module
+    with pytest.raises(InterpTrap):
+        Machine(trap, MachineOptions(engine="threaded")).run()
+    assert sys.getrecursionlimit() == old

@@ -108,3 +108,36 @@ class TestHeap:
             mem.store(p + i, 65)
         with pytest.raises(InterpError):
             mem.read_c_string(p, limit=8)
+
+
+class TestFrameSlots:
+    """push_frame_slots is the threaded engine's list-backed view of a
+    frame; it must lay out addresses exactly like push_frame."""
+
+    def test_slots_parallel_to_tags(self):
+        mem = image_for("int g;")
+        tags = [Tag("x", TagKind.LOCAL), Tag("y", TagKind.LOCAL)]
+        sp = mem.stack_ptr
+        slots = mem.push_frame_slots(tags, {"x": 8, "y": 8})
+        assert len(slots) == 2
+        assert slots[0] == sp
+        assert slots[1] > slots[0]
+        mem.pop_frame(sp)
+        assert mem.stack_ptr == sp
+
+    def test_same_layout_as_push_frame(self):
+        tags = [Tag("a", TagKind.LOCAL), Tag("b", TagKind.LOCAL),
+                Tag("c", TagKind.LOCAL)]
+        sizes = {"a": 4, "b": 40, "c": 8}
+        mem1 = image_for("int g;")
+        mem2 = image_for("int g;")
+        slots = mem1.push_frame_slots(tags, sizes)
+        by_name = mem2.push_frame(tags, sizes)
+        assert slots == [by_name[t.name] for t in tags]
+        assert mem1.stack_ptr == mem2.stack_ptr
+
+    def test_overflow_raises(self):
+        mem = image_for("int g;")
+        tag = Tag("huge", TagKind.LOCAL)
+        with pytest.raises(InterpError, match="overflow"):
+            mem.push_frame_slots([tag], {"huge": 1 << 40})

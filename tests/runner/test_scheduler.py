@@ -72,9 +72,12 @@ class TestPooled:
         assert data.compile_result is None
 
     def test_timeout_yields_structured_failure(self):
-        # SPIN_SOURCE burns its 1M-step fuel in ~1s; the 0.2s budget
-        # expires first and the suite moves on without waiting
-        slow = make_spec(workload="spinner", source=SPIN_SOURCE)
+        # give the spinner several seconds of step fuel (the threaded
+        # engine runs ~10M ops/s); the 0.2s budget expires long before
+        # and the suite moves on without waiting
+        slow = make_spec(
+            workload="spinner", source=SPIN_SOURCE, max_steps=200_000_000
+        )
         good = make_spec()
         outcomes = run_cells([slow, good], jobs=2, timeout=0.2, retries=1)
         failure = outcomes[slow.key]

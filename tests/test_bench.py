@@ -1,0 +1,66 @@
+"""Tests for the interpreter benchmark (``repro bench``)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    QUICK_PROGRAMS,
+    bench_interpreters,
+    format_bench,
+    write_bench_json,
+)
+from repro.cli import main
+from repro.workloads import workload_names
+
+
+def test_payload_schema_and_equivalence():
+    payload = bench_interpreters(["fft"], repeats=1)
+    assert payload["schema"] == BENCH_SCHEMA
+    entry = payload["programs"]["fft"]
+    for engine in ("simple", "threaded"):
+        cell = entry[engine]
+        assert set(cell) == {
+            "wall_s", "total_ops", "ops_per_sec", "engine", "speedup_vs_simple"
+        }
+        assert cell["engine"] == engine
+        assert cell["wall_s"] > 0
+        assert cell["ops_per_sec"] > 0
+    # both engines executed the identical op stream
+    assert entry["simple"]["total_ops"] == entry["threaded"]["total_ops"]
+    assert entry["simple"]["speedup_vs_simple"] == 1.0
+    summary = payload["summary"]
+    assert summary["programs"] == 1
+    assert summary["geomean_speedup"] == entry["threaded"]["speedup_vs_simple"]
+
+
+def test_quick_subset_is_valid():
+    assert set(QUICK_PROGRAMS) <= set(workload_names())
+
+
+def test_write_bench_json(tmp_path):
+    payload = {"schema": BENCH_SCHEMA, "programs": {}, "summary": {}}
+    path = tmp_path / "BENCH_interp.json"
+    write_bench_json(path, payload)
+    assert json.loads(path.read_text()) == payload
+
+
+def test_format_bench_renders_summary():
+    payload = bench_interpreters(["fft"], repeats=1)
+    table = format_bench(payload)
+    assert "geomean speedup" in table
+    assert "fft" in table
+
+
+def test_cli_bench_writes_json(tmp_path, capsys):
+    out = tmp_path / "BENCH_interp.json"
+    code = main(["bench", "fft", "--repeats", "1", "--out", str(out)])
+    assert code == 0
+    payload = json.loads(out.read_text())
+    assert "fft" in payload["programs"]
+    assert "geomean speedup" in capsys.readouterr().out
+
+
+def test_cli_bench_rejects_unknown_workload(tmp_path):
+    assert main(["bench", "nosuch", "--out", str(tmp_path / "b.json")]) == 2
