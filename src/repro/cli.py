@@ -25,6 +25,11 @@ Commands
 ``bench [PROGRAM ...]``
     Time the benchmark programs under both interpreter engines and write
     ``BENCH_interp.json`` (``--quick`` for the CI subset).
+``fuzz``
+    Generative differential testing: random C programs through the
+    multi-level oracle (-O0 / full ± promotion / pointer, both engines)
+    until the ``--budget`` is spent; divergences are delta-reduced and
+    recorded as artifacts (see ``docs/FUZZING.md``).
 
 Commands that execute programs accept ``--engine threaded|simple`` to
 pick the interpreter engine (default: the block-threaded one; both
@@ -337,6 +342,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fuzz_seed(text: str) -> int:
+    """Decimal seeds pass through; anything else (e.g. a git SHA) hashes
+    to a stable 63-bit integer so CI can seed with ``$GITHUB_SHA``."""
+    try:
+        return int(text, 10)
+    except ValueError:
+        import hashlib
+
+        digest = hashlib.sha256(text.encode()).digest()
+        return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    from .fuzz import CampaignOptions, OracleConfig, run_campaign
+
+    options = CampaignOptions(
+        budget_seconds=args.budget,
+        max_programs=args.programs,
+        seed=_parse_fuzz_seed(args.seed),
+        jobs=args.jobs,
+        batch_size=args.batch_size,
+        keep_going=args.keep_going,
+        reduce=not args.no_reduce,
+        corpus_dir=args.corpus_dir,
+        artifacts_dir=args.artifacts,
+        oracle=OracleConfig(max_steps=args.max_steps),
+    )
+
+    def progress(report) -> None:
+        if report.status != "ok" or args.verbose:
+            print(
+                f"  {report.program.name:<14} {report.status}"
+                + (
+                    ": " + "; ".join(d.kind for d in report.divergences)
+                    if report.divergences
+                    else ""
+                ),
+                file=sys.stderr,
+            )
+        for warning in report.warnings:
+            print(f"  {report.program.name:<14} note: {warning}", file=sys.stderr)
+
+    result = run_campaign(options, progress=progress)
+    print(result.summary())
+    for artifact in result.artifact_dirs:
+        print(f"divergence artifact: {artifact}", file=sys.stderr)
+    return result.exit_code()
+
+
 def cmd_drift(args: argparse.Namespace) -> int:
     from .diag.drift import (
         compare_cells,
@@ -511,6 +565,38 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default="BENCH_interp.json",
                          help="output path (default: BENCH_interp.json)")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_fuzz = add_command(
+        "fuzz", "generative differential testing (random C vs the oracle)"
+    )
+    p_fuzz.add_argument("--budget", type=float, default=60.0, metavar="SECONDS",
+                        help="wall-clock budget; stops starting new batches "
+                             "once spent (default 60)")
+    p_fuzz.add_argument("--programs", type=int, default=None, metavar="N",
+                        help="exact program cap (overrides time for "
+                             "deterministic runs)")
+    p_fuzz.add_argument("--seed", default="0",
+                        help="base seed; decimal int or any string "
+                             "(hashed), e.g. a git SHA (default 0)")
+    p_fuzz.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the oracle cells "
+                             "(1 = inline)")
+    p_fuzz.add_argument("--batch-size", type=int, default=16,
+                        help="programs per scheduler batch (default 16)")
+    p_fuzz.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="promote reduced reproducers into this corpus "
+                             "directory (e.g. tests/corpus)")
+    p_fuzz.add_argument("--artifacts", default="fuzz-artifacts", metavar="DIR",
+                        help="divergence artifact directory "
+                             "(default fuzz-artifacts)")
+    p_fuzz.add_argument("--keep-going", action="store_true",
+                        help="continue fuzzing after a divergence instead "
+                             "of stopping at the first")
+    p_fuzz.add_argument("--no-reduce", action="store_true",
+                        help="skip delta-debugging divergent programs")
+    p_fuzz.add_argument("--max-steps", type=int, default=5_000_000,
+                        help="interpreter fuel per oracle cell")
+    p_fuzz.set_defaults(func=cmd_fuzz)
 
     p_drift = add_command("drift", "gate suite metrics against a baseline")
     p_drift.add_argument("baseline",

@@ -1,0 +1,388 @@
+"""Seeded random C program generator.
+
+Every program is drawn from a grammar biased toward the shapes the paper
+(sections 3-4) identifies as the interesting ones for register promotion
+and its supporting analyses:
+
+* nested counted loops reading and writing **global scalars** and
+  **address-taken locals** (the promotion candidates);
+* pointer stores through **loop-invariant** bases (``p = &g`` hoistable,
+  section 3.3) and **loop-variant** bases (``p = &arr[i & MASK]``);
+* calls to helpers with varied **MOD/REF effects** — pure, global
+  readers, global writers, and writers/readers through pointer
+  parameters — so interprocedural analysis decides what promotes;
+* integer arithmetic at **wrap boundaries** (INT64_MIN/INT64_MAX
+  constants, division with guarded denominators, masked shift counts,
+  mixed signed/unsigned operands).
+
+Programs are deterministic by construction: loop trip counts are small
+constants, every division/modulo denominator is guarded with a ternary,
+array indices are masked into bounds (power-of-two lengths), and there is
+no recursion.  Any two runs of the same program must therefore agree on
+every observable — which is exactly what the oracle checks across
+pipeline variants and engines.
+
+The same ``seed`` always yields the same source (``random.Random(seed)``;
+no global state), so a divergence report is reproducible from its seed
+alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+INT64_MAX = 9223372036854775807
+INT64_MIN_EXPR = "(-9223372036854775807L - 1)"
+
+#: constants the expression grammar leans on; boundary values are listed
+#: several times to weight the draw toward the wrap edges
+_INTERESTING_CONSTANTS = [
+    "0", "1", "2", "3", "5", "7", "8", "15", "63", "255", "1024",
+    "-1", "-2", "-7", "-128",
+    "65535", "2147483647", "-2147483648",
+    "4611686018427387904",
+    str(INT64_MAX) + "L",
+    INT64_MIN_EXPR,
+]
+
+_BINOPS = ["+", "-", "*", "&", "|", "^"]
+_CMPOPS = ["<", "<=", ">", ">=", "==", "!="]
+_ASSIGN_OPS = ["=", "+=", "-=", "*=", "^=", "|=", "&="]
+
+
+@dataclass(frozen=True)
+class GenOptions:
+    """Knobs for program shape; the defaults aim at ~30-80 line programs
+    that compile + run through the whole oracle in tens of milliseconds."""
+
+    max_global_scalars: int = 5
+    max_arrays: int = 2
+    max_helpers: int = 3
+    max_locals: int = 3
+    max_loop_depth: int = 3
+    max_stmts_per_block: int = 5
+    max_expr_depth: int = 3
+    max_trip_count: int = 9
+    #: cap on printf statements inside loops (output size control)
+    max_loop_prints: int = 3
+
+
+@dataclass(frozen=True)
+class FuzzProgram:
+    """One generated program, named after its seed."""
+
+    seed: int
+    source: str
+
+    @property
+    def name(self) -> str:
+        return f"fuzz-{self.seed}"
+
+
+@dataclass
+class _Var:
+    name: str
+    ctype: str  # "long" | "unsigned long" | "int"
+    kind: str  # "global" | "local-reg" | "local-mem"
+
+
+@dataclass
+class _Array:
+    name: str
+    length: int  # power of two
+    kind: str  # "global"
+
+
+@dataclass
+class _Helper:
+    name: str
+    effect: str  # "pure" | "reads-global" | "writes-global" | "ptr-write" | "ptr-read"
+    takes_pointer: bool
+
+
+class _Generator:
+    def __init__(self, seed: int, options: GenOptions) -> None:
+        self.rng = random.Random(seed)
+        self.opts = options
+        self.scalars: list[_Var] = []
+        self.arrays: list[_Array] = []
+        self.helpers: list[_Helper] = []
+        self.locals: list[_Var] = []
+        self.pointers: list[str] = []
+        self.counter_id = 0
+        #: every counter the program may ever use is declared up front, so
+        #: the generator must never allocate past this cap (loop_stmt
+        #: degrades to a plain assignment when the pool is exhausted)
+        self.max_counters = options.max_loop_depth * 3
+        self.loop_prints = 0
+        self.print_id = 0
+
+    # -- expressions -------------------------------------------------------
+    def _readable_names(self) -> list[str]:
+        names = [v.name for v in self.scalars + self.locals]
+        names.extend(f"i{k}" for k in range(self.counter_id))
+        return names
+
+    def expr(self, depth: int) -> str:
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.30:
+            roll = rng.random()
+            names = self._readable_names()
+            if roll < 0.45 and names:
+                return rng.choice(names)
+            if roll < 0.60 and self.arrays:
+                arr = rng.choice(self.arrays)
+                return f"{arr.name}[{self.index_expr(arr, depth - 1)}]"
+            if roll < 0.68 and self.pointers:
+                return f"(*{rng.choice(self.pointers)})"
+            return rng.choice(_INTERESTING_CONSTANTS)
+        roll = rng.random()
+        a = self.expr(depth - 1)
+        b = self.expr(depth - 1)
+        if roll < 0.55:
+            return f"({a} {rng.choice(_BINOPS)} {b})"
+        if roll < 0.70:
+            # guarded division/modulo: C99 traps stay out of the corpus,
+            # but the denominator expression itself stays interesting
+            op = rng.choice(["/", "%"])
+            return f"({b} != 0 ? {a} {op} {b} : {a})"
+        if roll < 0.85:
+            op = rng.choice(["<<", ">>"])
+            return f"({a} {op} ({b} & 31))"
+        return f"({a} {rng.choice(_CMPOPS)} {b})"
+
+    def index_expr(self, arr: _Array, depth: int) -> str:
+        mask = arr.length - 1
+        counters = [f"i{k}" for k in range(self.counter_id)]
+        if counters and self.rng.random() < 0.6:
+            return f"({self.rng.choice(counters)} & {mask})"
+        return f"({self.expr(max(depth, 0))} & {mask})"
+
+    # -- declarations -------------------------------------------------------
+    def gen_globals(self) -> list[str]:
+        rng = self.rng
+        lines = []
+        for k in range(rng.randint(2, self.opts.max_global_scalars)):
+            ctype = rng.choice(["long", "long", "int", "unsigned long"])
+            init = rng.choice(["0", "1", "7", "-3", "100", str(INT64_MAX) + "L"])
+            var = _Var(f"g{k}", ctype, "global")
+            self.scalars.append(var)
+            lines.append(f"{ctype} g{k} = {init};")
+        for k in range(rng.randint(1, self.opts.max_arrays)):
+            length = rng.choice([4, 8, 16])
+            arr = _Array(f"arr{k}", length, "global")
+            self.arrays.append(arr)
+            lines.append(f"long arr{k}[{length}];")
+        return lines
+
+    def gen_helper(self, idx: int) -> list[str]:
+        rng = self.rng
+        effect = rng.choice(
+            ["pure", "reads-global", "writes-global", "ptr-write", "ptr-read"]
+        )
+        takes_pointer = effect in ("ptr-write", "ptr-read")
+        helper = _Helper(f"h{idx}", effect, takes_pointer)
+        self.helpers.append(helper)
+        params = "long *p, long a" if takes_pointer else "long a, long b"
+        lines = [f"long h{idx}({params}) {{"]
+        body_expr = "a" if takes_pointer else f"(a {rng.choice(_BINOPS)} b)"
+        if effect == "pure":
+            lines.append(f"    return {body_expr} + {rng.choice(_INTERESTING_CONSTANTS)};")
+        elif effect == "reads-global":
+            g = rng.choice(self.scalars).name
+            lines.append(f"    return {body_expr} + {g};")
+        elif effect == "writes-global":
+            g = rng.choice(self.scalars).name
+            lines.append(f"    {g} = {g} + {body_expr};")
+            lines.append(f"    return {g};")
+        elif effect == "ptr-write":
+            lines.append(f"    *p = *p + {body_expr};")
+            lines.append("    return *p;")
+        else:  # ptr-read
+            lines.append(f"    return *p + {body_expr};")
+        lines.append("}")
+        return lines
+
+    # -- statements ---------------------------------------------------------
+    def assign_stmt(self) -> str:
+        rng = self.rng
+        value = self.expr(self.opts.max_expr_depth)
+        roll = rng.random()
+        if roll < 0.40 and self.scalars:
+            target = rng.choice(self.scalars).name
+        elif roll < 0.60 and self.locals:
+            target = rng.choice(self.locals).name
+        elif roll < 0.80 and self.arrays:
+            arr = rng.choice(self.arrays)
+            target = f"{arr.name}[{self.index_expr(arr, 1)}]"
+        elif self.pointers:
+            target = f"*{rng.choice(self.pointers)}"
+        elif self.scalars:
+            target = rng.choice(self.scalars).name
+        else:
+            return f"acc ^= {value};"
+        op = rng.choice(_ASSIGN_OPS)
+        return f"{target} {op} {value};"
+
+    def call_stmt(self) -> str:
+        rng = self.rng
+        helper = rng.choice(self.helpers)
+        if helper.takes_pointer:
+            targets = [f"&{v.name}" for v in self.scalars]
+            targets.extend(f"&{v.name}" for v in self.locals if v.kind == "local-mem")
+            for arr in self.arrays:
+                targets.append(f"&{arr.name}[{self.index_expr(arr, 1)}]")
+            ptr = rng.choice(targets)
+            return f"acc += {helper.name}({ptr}, {self.expr(1)});"
+        return f"acc += {helper.name}({self.expr(1)}, {self.expr(1)});"
+
+    def retarget_stmt(self) -> str:
+        """Re-aim an existing pointer: loop-variant vs invariant bases."""
+        rng = self.rng
+        ptr = rng.choice(self.pointers)
+        choices = [f"&{v.name}" for v in self.scalars]
+        choices.extend(f"&{v.name}" for v in self.locals if v.kind == "local-mem")
+        for arr in self.arrays:
+            choices.append(f"&{arr.name}[{self.index_expr(arr, 1)}]")
+        return f"{ptr} = {rng.choice(choices)};"
+
+    def print_stmt(self, in_loop: bool) -> str | None:
+        if in_loop:
+            if self.loop_prints >= self.opts.max_loop_prints:
+                return None
+            self.loop_prints += 1
+        self.print_id += 1
+        return f'printf("t{self.print_id} %ld\\n", (long)({self.expr(2)}));'
+
+    def loop_stmt(self, depth: int, indent: str) -> list[str]:
+        rng = self.rng
+        if self.counter_id >= self.max_counters:
+            return [indent + self.assign_stmt()]
+        counter = f"i{self.counter_id}"
+        self.counter_id += 1
+        trip = rng.randint(2, self.opts.max_trip_count)
+        style = rng.random()
+        body = self.block(depth + 1, indent + "    ")
+        if style < 0.6:
+            head = f"for ({counter} = 0; {counter} < {trip}; {counter}++) {{"
+            lines = [indent + head, *body, indent + "}"]
+        elif style < 0.85:
+            lines = [
+                indent + f"{counter} = 0;",
+                indent + f"while ({counter} < {trip}) {{",
+                *body,
+                indent + f"    {counter}++;",
+                indent + "}",
+            ]
+        else:
+            lines = [
+                indent + f"{counter} = 0;",
+                indent + "do {",
+                *body,
+                indent + f"    {counter}++;",
+                indent + f"}} while ({counter} < {trip});",
+            ]
+        return lines
+
+    def if_stmt(self, depth: int, indent: str) -> list[str]:
+        cond = f"({self.expr(2)} {self.rng.choice(_CMPOPS)} {self.expr(1)})"
+        then_body = self.block(depth + 1, indent + "    ", branch=True)
+        lines = [indent + f"if {cond} {{", *then_body]
+        if self.rng.random() < 0.5:
+            else_body = self.block(depth + 1, indent + "    ", branch=True)
+            lines.extend([indent + "} else {", *else_body])
+        lines.append(indent + "}")
+        return lines
+
+    def block(self, depth: int, indent: str, branch: bool = False) -> list[str]:
+        rng = self.rng
+        lines: list[str] = []
+        limit = self.opts.max_stmts_per_block if not branch else 2
+        for _ in range(rng.randint(1, limit)):
+            roll = rng.random()
+            if roll < 0.40:
+                lines.append(indent + self.assign_stmt())
+            elif roll < 0.55 and self.helpers:
+                lines.append(indent + self.call_stmt())
+            elif roll < 0.65 and self.pointers:
+                lines.append(indent + self.retarget_stmt())
+            elif roll < 0.75 and depth < self.opts.max_loop_depth and not branch:
+                lines.extend(self.loop_stmt(depth, indent))
+            elif roll < 0.85 and depth < self.opts.max_loop_depth and not branch:
+                lines.extend(self.if_stmt(depth, indent))
+            else:
+                stmt = self.print_stmt(in_loop=depth > 0)
+                lines.append(indent + (stmt or self.assign_stmt()))
+        return lines
+
+    # -- whole program ------------------------------------------------------
+    def generate(self) -> str:
+        rng = self.rng
+        lines: list[str] = []
+        lines.extend(self.gen_globals())
+        for idx in range(rng.randint(1, self.opts.max_helpers)):
+            lines.extend(self.gen_helper(idx))
+        lines.append("int main(void) {")
+        lines.append("    long acc = 0;")
+
+        # locals: a mix of register-resident and address-taken scalars
+        n_locals = rng.randint(1, self.opts.max_locals)
+        mem_locals: list[_Var] = []
+        for k in range(n_locals):
+            ctype = rng.choice(["long", "int", "unsigned long"])
+            var = _Var(f"m{k}", ctype, "local-reg")
+            self.locals.append(var)
+            lines.append(f"    {ctype} m{k} = {rng.choice(_INTERESTING_CONSTANTS)};")
+        # pointers make some of those locals memory-resident (&m taken)
+        for k in range(rng.randint(1, 2)):
+            targets = [f"&{v.name}" for v in self.locals]
+            targets.extend(f"&{v.name}" for v in self.scalars)
+            for arr in self.arrays:
+                targets.append(f"&{arr.name}[{rng.randrange(arr.length)}]")
+            target = rng.choice(targets)
+            if target.startswith("&m"):
+                name = target[1:]
+                for var in self.locals:
+                    if var.name == name:
+                        var.kind = "local-mem"
+                        mem_locals.append(var)
+            lines.append(f"    long *p{k} = {target};")
+            self.pointers.append(f"p{k}")
+
+        # pre-declare every loop counter the body may use — one per line,
+        # so the reducer can drop unused ones individually
+        for k in range(self.max_counters):
+            lines.append(f"    long i{k} = 0;")
+
+        # main body: one-to-three top-level loop nests plus filler
+        body: list[str] = []
+        for _ in range(rng.randint(1, 3)):
+            body.extend(self.loop_stmt(0, "    "))
+            if self.counter_id >= self.max_counters - self.opts.max_loop_depth:
+                break
+        lines.extend(body)
+
+        # deterministic epilogue: fold every observable into the output
+        lines.append(f'    printf("acc %ld\\n", acc);')
+        for var in self.scalars:
+            lines.append(f'    printf("{var.name} %ld\\n", (long){var.name});')
+        for var in self.locals:
+            lines.append(f'    printf("{var.name} %ld\\n", (long){var.name});')
+        for arr in self.arrays:
+            counter = "i0"
+            lines.append(
+                f"    for ({counter} = 0; {counter} < {arr.length}; {counter}++)"
+            )
+            lines.append(
+                f'        printf("{arr.name} %ld\\n", {arr.name}[{counter}]);'
+            )
+        lines.append("    return (int)(acc & 63);")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def generate_program(seed: int, options: GenOptions | None = None) -> FuzzProgram:
+    """Deterministically generate one program from ``seed``."""
+    source = _Generator(seed, options or GenOptions()).generate()
+    return FuzzProgram(seed=seed, source=source)

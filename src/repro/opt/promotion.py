@@ -105,15 +105,24 @@ class PromotionOptions:
     pressure_budget: int | None = None
     #: registers held back from the pressure budget for allocator temps
     pressure_reserve: int = 4
+    #: DELIBERATELY UNSOUND: pretend calls never reference memory when
+    #: gathering B_AMBIGUOUS, so tags modified by callees still promote.
+    #: Exists only so the fuzzer/reducer can be tested against a known
+    #: miscompile (``repro.fuzz``); never enable it for real experiments.
+    unsafe_ignore_call_ambiguity: bool = False
 
 
 def gather_block_info(
-    func: Function, universe: frozenset[Tag] | None = None
+    func: Function,
+    universe: frozenset[Tag] | None = None,
+    ignore_calls: bool = False,
 ) -> tuple[dict[str, set[Tag]], dict[str, set[Tag]]]:
     """Compute ``B_EXPLICIT`` and ``B_AMBIGUOUS`` for every block.
 
     ``universe`` materializes universal tag sets (pre-analysis IR); by
-    default every tag the module knows about is assumed.
+    default every tag the module knows about is assumed.  ``ignore_calls``
+    is the deliberate miscompile behind
+    :attr:`PromotionOptions.unsafe_ignore_call_ambiguity`.
     """
     explicit: dict[str, set[Tag]] = {}
     ambiguous: dict[str, set[Tag]] = {}
@@ -125,7 +134,7 @@ def gather_block_info(
                 b_exp.add(instr.tag)
             elif isinstance(instr, (MemLoad, MemStore)):
                 b_amb.update(_materialize(instr.tags, universe))
-            elif isinstance(instr, Call):
+            elif isinstance(instr, Call) and not ignore_calls:
                 b_amb.update(_materialize(instr.mod, universe))
                 b_amb.update(_materialize(instr.ref, universe))
         explicit[label] = b_exp
@@ -205,7 +214,9 @@ def promote_function(
         return report
 
     universe = frozenset(module.memory_tags()) if module is not None else None
-    explicit, ambiguous = gather_block_info(func, universe)
+    explicit, ambiguous = gather_block_info(
+        func, universe, ignore_calls=options.unsafe_ignore_call_ambiguity
+    )
     sets = solve_loop_equations(func, forest, explicit, ambiguous, options)
 
     if options.pressure_budget is not None:

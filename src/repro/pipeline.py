@@ -253,17 +253,19 @@ class ExperimentCell:
     compile_result: CompileResult | None = None
 
 
-def compile_and_run(
-    source: str,
-    options: PipelineOptions | None = None,
-    name: str = "program",
-    defines: dict[str, str] | None = None,
+def run_compiled(
+    compiled: CompileResult,
     machine_options: MachineOptions | None = None,
 ) -> ExperimentCell:
-    options = options or PipelineOptions()
+    """Interpret an already-compiled module as one experiment cell.
+
+    Running never mutates the module (the machine materializes its own
+    :class:`~repro.interp.memory.MemoryImage`), so the same
+    ``CompileResult`` can back any number of cells that differ only in
+    machine options — e.g. the fuzz oracle's engine pairs.
+    """
+    options = compiled.options
     machine_options = machine_options or MachineOptions()
-    with span("compile", variant=options.variant_name()):
-        compiled = compile_source(source, options, name=name, defines=defines)
     with span(
         "execute", variant=options.variant_name(), engine=machine_options.engine
     ):
@@ -279,6 +281,19 @@ def compile_and_run(
         output=run.output,
         compile_result=compiled,
     )
+
+
+def compile_and_run(
+    source: str,
+    options: PipelineOptions | None = None,
+    name: str = "program",
+    defines: dict[str, str] | None = None,
+    machine_options: MachineOptions | None = None,
+) -> ExperimentCell:
+    options = options or PipelineOptions()
+    with span("compile", variant=options.variant_name()):
+        compiled = compile_source(source, options, name=name, defines=defines)
+    return run_compiled(compiled, machine_options)
 
 
 def paper_variants(

@@ -43,7 +43,13 @@ from ..diag.log import get_logger
 from ..diag.metrics import metrics_session
 from ..errors import ReproError
 from ..interp import Counters, MachineOptions
-from ..pipeline import CompileResult, PipelineOptions, compile_and_run
+from ..pipeline import (
+    CompileResult,
+    PipelineOptions,
+    compile_and_run,
+    compile_source,
+    run_compiled,
+)
 from . import telemetry
 from .cache import ResultCache, cell_key
 
@@ -54,6 +60,7 @@ __all__ = [
     "CellFailure",
     "CellOutcome",
     "CellSpec",
+    "compile_memo_key",
     "execute_cell",
     "run_cells",
     "spec_cache_key",
@@ -148,21 +155,28 @@ def execute_cell(
     spec: CellSpec,
     collect_trace: bool = False,
     keep_compile_result: bool = False,
+    compile_cache: dict[str, CompileResult] | None = None,
 ) -> CellData:
     """Compile and run one cell (runs in the worker process).
 
     ``keep_compile_result`` attaches the full IR-bearing
     :class:`CompileResult`; pooled runs leave it off so only the slim
     counters/output payload crosses the process boundary.
+
+    ``compile_cache`` (a plain dict keyed by :func:`compile_memo_key`)
+    lets sibling cells that differ only in :class:`MachineOptions` — the
+    fuzz oracle's engine pairs — share one compilation.  Running never
+    mutates the compiled module, so reuse is sound; the compile-time
+    metrics land only in the first sharing cell's snapshot.
     """
     started = time.perf_counter()
     with metrics_session() as registry:
         if collect_trace:
             with telemetry.tracing(f"{spec.workload}:{spec.variant}") as trace:
-                cell = _compile_and_run(spec)
+                cell = _compile_and_run(spec, compile_cache)
             events = [event.as_dict() for event in trace.events]
         else:
-            cell = _compile_and_run(spec)
+            cell = _compile_and_run(spec, compile_cache)
             events = []
     _log.debug(
         "cell %s[%s] done in %.3fs", spec.workload, spec.variant,
@@ -181,18 +195,38 @@ def execute_cell(
     )
 
 
-def _compile_and_run(spec: CellSpec):
-    return compile_and_run(
-        spec.source,
-        spec.options,
-        name=spec.workload,
-        defines=dict(spec.defines) or None,
-        machine_options=spec.machine,
-    )
+def _compile_and_run(
+    spec: CellSpec, compile_cache: dict[str, CompileResult] | None = None
+):
+    if compile_cache is None:
+        return compile_and_run(
+            spec.source,
+            spec.options,
+            name=spec.workload,
+            defines=dict(spec.defines) or None,
+            machine_options=spec.machine,
+        )
+    key = compile_memo_key(spec)
+    compiled = compile_cache.get(key)
+    if compiled is None:
+        compiled = compile_source(
+            spec.source,
+            spec.options,
+            name=spec.workload,
+            defines=dict(spec.defines) or None,
+        )
+        compile_cache[key] = compiled
+    return run_compiled(compiled, spec.machine)
 
 
 def spec_cache_key(spec: CellSpec) -> str:
     return cell_key(spec.source, dict(spec.defines), spec.options, spec.machine)
+
+
+def compile_memo_key(spec: CellSpec) -> str:
+    """Machine-independent cache key: everything that shapes the compiled
+    module but nothing about how it will be interpreted."""
+    return cell_key(spec.source, dict(spec.defines), spec.options, None)
 
 
 ProgressFn = Callable[[CellSpec, CellOutcome], None]
@@ -207,8 +241,16 @@ def run_cells(
     cache: ResultCache | None = None,
     collect_trace: bool = False,
     progress: ProgressFn | None = None,
+    compile_cache: dict[str, CompileResult] | None = None,
 ) -> dict[tuple[str, str], CellOutcome]:
-    """Run every cell, returning an outcome per ``(workload, variant)``."""
+    """Run every cell, returning an outcome per ``(workload, variant)``.
+
+    ``compile_cache`` enables compile sharing between cells that differ
+    only in machine options — inline (``jobs <= 1``) execution only,
+    since compiled modules do not cross process boundaries.  The caller
+    owns the dict (and its memory): pass a fresh ``{}`` per batch to keep
+    it bounded.
+    """
     outcomes: dict[tuple[str, str], CellOutcome] = {}
     by_key = {spec.key: spec for spec in specs}
     if len(by_key) != len(specs):
@@ -235,19 +277,29 @@ def run_cells(
 
     if jobs <= 1:
         for spec in pending:
-            finish(spec, _run_inline(spec, retries, collect_trace))
+            finish(spec, _run_inline(spec, retries, collect_trace, compile_cache))
     else:
         _run_pooled(pending, jobs, timeout, retries, collect_trace, finish)
     return outcomes
 
 
-def _run_inline(spec: CellSpec, retries: int, collect_trace: bool) -> CellOutcome:
+def _run_inline(
+    spec: CellSpec,
+    retries: int,
+    collect_trace: bool,
+    compile_cache: dict[str, CompileResult] | None = None,
+) -> CellOutcome:
     attempts = 0
     started = time.perf_counter()
     while True:
         attempts += 1
         try:
-            return execute_cell(spec, collect_trace, keep_compile_result=True)
+            return execute_cell(
+                spec,
+                collect_trace,
+                keep_compile_result=True,
+                compile_cache=compile_cache,
+            )
         except ReproError as error:
             last = f"{type(error).__name__}: {error}"
         except Exception as error:  # genuinely unexpected: keep the trace

@@ -1,0 +1,23 @@
+/* Two pointers into the same array that sometimes alias the same cell.
+   Stores through one must be visible through the other; promotion of
+   the cells requires the analysis to prove (or refuse to prove)
+   distinctness. */
+long arr[8];
+int main(void) {
+    long acc = 0;
+    long i;
+    long *p = &arr[2];
+    long *q = &arr[2];
+    long *r = &arr[5];
+    for (i = 0; i < 8; i++) {
+        *p = *p + i;
+        acc += *q;
+        *r = *r + *q;
+        acc ^= arr[(i & 7)];
+    }
+    for (i = 0; i < 8; i++) {
+        printf("arr %ld\n", arr[i]);
+    }
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,20 @@
+/* A callee that writes the global a loop is accumulating into.
+   MOD analysis must keep g in B_AMBIGUOUS for the loop, so promotion
+   may not cache it in a register across the call — exactly the
+   miscompile the unsafe_ignore_call_ambiguity flag injects. */
+long g = 0;
+long bump(long k) {
+    g += k;
+    return g;
+}
+int main(void) {
+    long acc = 0;
+    long i;
+    for (i = 0; i < 8; i++) {
+        g = g + 1;
+        acc += bump(i);
+    }
+    printf("acc %ld\n", acc);
+    printf("g %ld\n", g);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,19 @@
+/* The dual of call-mod-global: the loop stores g, the callee only
+   *reads* it.  REF forces the promoted value to be visible in memory at
+   the call (or the call to see the register copy) — either way the
+   callee must observe every increment. */
+long g = 10;
+long peek(long k) {
+    return g * 2 + k;
+}
+int main(void) {
+    long acc = 0;
+    long i;
+    for (i = 0; i < 7; i++) {
+        g = g + 3;
+        acc += peek(i);
+    }
+    printf("acc %ld\n", acc);
+    printf("g %ld\n", g);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,24 @@
+/* Found by `repro fuzz` with the unsafe_ignore_call_ambiguity
+   miscompile injected, then minimized by the delta reducer (69 -> 17
+   lines).  A loop that stores g0 while calling a helper that reads it:
+   promoting g0 across the call makes the callee see a stale value.
+   Under the *correct* pipeline every variant must agree.
+   regenerate: repro fuzz --seed 4 --programs 1 (with the broken flag) */
+int g0 = 0;
+long arr0[4];
+long h1(long a, long b) {
+    return g0;
+}
+int main(void) {
+    long acc = 0;
+    unsigned long m0 = -1;
+    long m2 = 63;
+    long *p0 = &arr0[0];
+    long i1 = 0;
+    for (i1 = 0; i1 < 5; i1++) {
+        acc += h1(((*p0) ^ m0), (m2 * (*p0)));
+        g0 -= m0;
+    }
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

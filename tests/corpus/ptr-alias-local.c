@@ -1,0 +1,17 @@
+/* An address-taken local updated both directly and through its alias in
+   the same loop.  The direct stores look promotable; the pointer stores
+   make the tag ambiguous — promotion must reconcile both views. */
+int main(void) {
+    long m = 3;
+    long acc = 0;
+    long i;
+    long *p = &m;
+    for (i = 0; i < 6; i++) {
+        m += 2;
+        *p = *p + 1;
+        acc += m;
+    }
+    printf("m %ld\n", m);
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

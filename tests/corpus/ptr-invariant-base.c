@@ -1,0 +1,18 @@
+/* Pointer stores through a loop-invariant base (section 3.3): after
+   LICM exposes that p never changes inside the loop, pointer promotion
+   may forward *p through a register — but only with the pointer
+   analysis to prove p's target, and the exit store must still land. */
+long g = 100;
+long other = 7;
+int main(void) {
+    long acc = 0;
+    long i;
+    long *p = &g;
+    for (i = 0; i < 9; i++) {
+        *p = *p + i;
+        acc += *p + other;
+    }
+    printf("g %ld\n", g);
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,23 @@
+/* A pointer retargeted *inside* the loop: the base is loop-variant, so
+   pointer promotion must refuse, and plain promotion must treat both
+   g0 and g1 as ambiguously written. */
+long g0 = 1;
+long g1 = 2;
+int main(void) {
+    long acc = 0;
+    long i;
+    long *p = &g0;
+    for (i = 0; i < 10; i++) {
+        *p = *p + 1;
+        if (i & 1) {
+            p = &g1;
+        } else {
+            p = &g0;
+        }
+        acc += g0 + g1;
+    }
+    printf("g0 %ld\n", g0);
+    printf("g1 %ld\n", g1);
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,12 @@
+/* Deliberately traps: an unguarded division by a global that stays
+   zero.  Every oracle cell must trap with the *same* message — a cell
+   that survives (e.g. because a pass folded the division away) is a
+   miscompile.  The oracle classifies this file as "trap", not "ok". */
+long zero = 0;
+int main(void) {
+    long x = 5;
+    printf("before %ld\n", x);
+    x = x / zero;
+    printf("after %ld\n", x);
+    return 0;
+}

@@ -1,0 +1,23 @@
+/* Arithmetic at the 64-bit wrap boundaries: INT64_MIN / -1 (guarded),
+   INT64_MAX + 1, shift counts at and past 63, truncating division of
+   negatives.  Every variant must agree on the wrapped values. */
+long big = 9223372036854775807L;
+long tiny = (-9223372036854775807L - 1);
+int main(void) {
+    long acc = 0;
+    long d = -1;
+    long i;
+    for (i = 0; i < 4; i++) {
+        acc += big + 1;
+        acc ^= (d != 0 ? tiny / d : tiny);
+        acc += (d != 0 ? tiny % d : 0);
+        acc ^= (1L << ((63 + i) & 31));
+        acc += (tiny >> (63 & 31));
+        acc += (-7) / 2;
+        acc += (-7) % 2;
+        acc += 7 / -2;
+        acc += 7 % -2;
+    }
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,19 @@
+/* A loop whose body never runs.  Promotion's landing-pad load and exit
+   store execute anyway — the classic case where promotion legally
+   *increases* dynamic memory traffic and must not change the value. */
+long g = 5;
+int main(void) {
+    long acc = 0;
+    long i;
+    for (i = 0; i < 0; i++) {
+        g += 1;
+        acc += g;
+    }
+    for (i = 3; i < 4; i++) {
+        g += 10;
+        acc += g;
+    }
+    printf("g %ld\n", g);
+    printf("acc %ld\n", acc);
+    return (int)(acc & 63);
+}

@@ -1,0 +1,46 @@
+"""The ``repro fuzz`` subcommand."""
+
+from repro.cli import _parse_fuzz_seed, main
+
+
+class TestSeedParsing:
+    def test_decimal_passes_through(self):
+        assert _parse_fuzz_seed("0") == 0
+        assert _parse_fuzz_seed("12345") == 12345
+
+    def test_string_seed_hashes_deterministically(self):
+        sha = "9710245deadbeefcafe0123456789abcdef01234"
+        first = _parse_fuzz_seed(sha)
+        assert first == _parse_fuzz_seed(sha)
+        assert 0 <= first < 2**63
+        assert first != _parse_fuzz_seed(sha + "x")
+
+
+class TestFuzzCommand:
+    def test_clean_smoke_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--programs", "2",
+                "--seed", "0",
+                "--budget", "1e9",
+                "--artifacts", str(tmp_path / "artifacts"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "2 program(s)" in captured.out
+        assert "0 DIVERGENT" in captured.out
+
+    def test_string_seed_accepted(self, tmp_path, capsys):
+        code = main(
+            [
+                "fuzz",
+                "--programs", "1",
+                "--seed", "some-git-sha",
+                "--budget", "1e9",
+                "--artifacts", str(tmp_path / "artifacts"),
+            ]
+        )
+        assert code == 0
+        assert "1 program(s)" in capsys.readouterr().out

@@ -1,0 +1,73 @@
+"""The random program generator: determinism, validity, and shape."""
+
+from dataclasses import replace
+
+from repro.frontend import compile_c
+from repro.fuzz import generate_program
+from repro.fuzz.gen import GenOptions
+
+SMOKE_SEEDS = range(25)
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        for seed in (0, 7, 123456789):
+            assert (
+                generate_program(seed).source == generate_program(seed).source
+            )
+
+    def test_distinct_seeds_distinct_sources(self):
+        sources = {generate_program(seed).source for seed in SMOKE_SEEDS}
+        assert len(sources) == len(SMOKE_SEEDS)
+
+    def test_name_embeds_seed(self):
+        assert generate_program(42).name == "fuzz-42"
+
+
+class TestValidity:
+    def test_every_smoke_seed_compiles(self):
+        for seed in SMOKE_SEEDS:
+            program = generate_program(seed)
+            module = compile_c(program.source, name=program.name)
+            assert "main" in module.functions, program.source
+
+    def test_deep_nesting_stays_within_counter_pool(self):
+        # hammer the shapes most likely to exhaust the loop-counter pool:
+        # deep nesting with many statements per block
+        options = GenOptions(max_loop_depth=5, max_stmts_per_block=8)
+        for seed in range(15):
+            program = generate_program(seed, options)
+            compile_c(program.source, name=program.name)
+
+    def test_no_unguarded_division(self):
+        # every generated / and % is wrapped in a "!= 0 ?" guard
+        for seed in SMOKE_SEEDS:
+            for line in generate_program(seed).source.splitlines():
+                for op in (" / ", " % "):
+                    if op in line:
+                        assert "!= 0 ?" in line, line
+
+
+class TestShape:
+    def test_programs_are_loop_heavy(self):
+        with_loops = sum(
+            1
+            for seed in SMOKE_SEEDS
+            if any(
+                kw in generate_program(seed).source
+                for kw in ("for (", "while (")
+            )
+        )
+        assert with_loops == len(SMOKE_SEEDS)
+
+    def test_most_programs_take_addresses(self):
+        with_addr = sum(
+            1 for seed in SMOKE_SEEDS if "&" in generate_program(seed).source
+        )
+        assert with_addr >= len(SMOKE_SEEDS) // 2
+
+    def test_options_change_shape(self):
+        small = replace(GenOptions(), max_loop_depth=1, max_stmts_per_block=2)
+        assert (
+            generate_program(3, small).source != generate_program(3).source
+        )

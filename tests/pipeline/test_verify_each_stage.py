@@ -1,0 +1,56 @@
+"""Every workload must verify cleanly between *every* pipeline stage.
+
+The regular workload tests check end results; this suite turns on
+``verify_each_stage`` so the IR verifier runs after the front end, after
+every analysis, and after every optimization pass — any pass that leaves
+the module in an inconsistent state fails here with the stage that broke
+it, not three passes later.
+
+Two pipeline shapes bracket the matrix: the ``O0`` reference cell (front
+end straight into the interpreter — verifies the lowering itself) and the
+richest cell (pointer analysis + promotion + pointer promotion + the full
+optimizer + register allocation).
+"""
+
+import pytest
+
+from repro.fuzz.oracle import o0_options
+from repro.interp import MachineOptions
+from repro.pipeline import Analysis, PipelineOptions, compile_and_run
+from repro.workloads import get_workload, workload_names
+
+#: enough fuel for every workload at -O0 (the slowest cell)
+_MAX_STEPS = 200_000_000
+
+
+def _full_options() -> PipelineOptions:
+    return PipelineOptions(
+        analysis=Analysis.POINTER,
+        pointer_promotion=True,
+        verify_each_stage=True,
+    )
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestVerifyEachStage:
+    def test_o0(self, name):
+        workload = get_workload(name)
+        cell = compile_and_run(
+            workload.source,
+            o0_options(),
+            name=name,
+            defines=workload.defines,
+            machine_options=MachineOptions(max_steps=_MAX_STEPS),
+        )
+        assert cell.exit_code == 0
+
+    def test_full(self, name):
+        workload = get_workload(name)
+        cell = compile_and_run(
+            workload.source,
+            _full_options(),
+            name=name,
+            defines=workload.defines,
+            machine_options=MachineOptions(max_steps=_MAX_STEPS),
+        )
+        assert cell.exit_code == 0

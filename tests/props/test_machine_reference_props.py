@@ -1,0 +1,201 @@
+"""Differential property tests: the interpreter's arithmetic vs an
+independent reference model.
+
+``test_interp_arith_props`` checks *algebraic* properties (identities,
+involutions).  This file instead pins the semantics against a second,
+independently-written model of C99-on-LP64 integer arithmetic:
+
+* the model works in the **unsigned residue domain** (everything mod
+  2**64, converted at the boundary), while the interpreter masks and
+  sign-adjusts — two formulations that can only agree if both implement
+  two's complement correctly;
+* division/modulo go through exact rationals and ``math.trunc`` — C99
+  6.5.5 truncation toward zero — rather than the interpreter's
+  sign-fixed magnitude division;
+* arithmetic right shift is modeled as floor division by a power of two.
+
+Boundary cases (INT64_MIN / -1, INT64_MAX + 1, shift counts >= 64) are
+pinned with explicit ``@example``\\ s so they run on every test
+invocation, not just when Hypothesis happens to generate them.
+"""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import example, given
+from hypothesis import strategies as st
+
+from repro.errors import InterpTrap
+from repro.interp import c_div, c_mod, wrap_int
+from repro.interp.machine import _binop, _unop
+from repro.ir.opcodes import Opcode
+
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+_TWO64 = 1 << 64
+
+int64 = st.integers(min_value=INT64_MIN, max_value=INT64_MAX)
+nonzero64 = int64.filter(lambda v: v != 0)
+any_int = st.integers(min_value=-(2**70), max_value=2**70)
+
+
+# -- the reference model ------------------------------------------------------
+def ref_wrap(value: int) -> int:
+    """Two's complement via the unsigned residue domain."""
+    residue = value % _TWO64
+    return residue - _TWO64 if residue >= _TWO64 // 2 else residue
+
+
+def ref_div(a: int, b: int) -> int:
+    """C99 6.5.5: exact quotient truncated toward zero, then wrapped."""
+    return ref_wrap(math.trunc(Fraction(a, b)))
+
+
+def ref_mod(a: int, b: int) -> int:
+    """C99 6.5.5: (a/b)*b + a%b == a."""
+    return ref_wrap(a - math.trunc(Fraction(a, b)) * b)
+
+
+def ref_shr(a: int, count: int) -> int:
+    """Arithmetic right shift == floor division by 2**count."""
+    return ref_wrap(a // (2 ** (count & 63)))
+
+
+def ref_shl(a: int, count: int) -> int:
+    return ref_wrap(a * (2 ** (count & 63)))
+
+
+# -- wrap ---------------------------------------------------------------------
+class TestWrap:
+    @given(any_int)
+    @example(INT64_MAX + 1)
+    @example(INT64_MIN - 1)
+    @example(_TWO64)
+    @example(-_TWO64)
+    def test_wrap_matches_reference(self, v):
+        assert wrap_int(v) == ref_wrap(v)
+
+    def test_wrap_pins(self):
+        assert wrap_int(INT64_MAX + 1) == INT64_MIN
+        assert wrap_int(INT64_MIN - 1) == INT64_MAX
+        assert wrap_int(_TWO64) == 0
+        assert wrap_int(-1) == -1
+
+
+# -- division and modulo ------------------------------------------------------
+class TestDivMod:
+    @given(int64, nonzero64)
+    @example(INT64_MIN, -1)
+    @example(INT64_MIN, 1)
+    @example(INT64_MAX, -1)
+    @example(-7, 2)
+    @example(7, -2)
+    @example(-7, -2)
+    def test_div_matches_reference(self, a, b):
+        assert c_div(a, b) == ref_div(a, b)
+
+    @given(int64, nonzero64)
+    @example(INT64_MIN, -1)
+    @example(INT64_MAX, -1)
+    @example(-7, 2)
+    @example(7, -2)
+    def test_mod_matches_reference(self, a, b):
+        assert c_mod(a, b) == ref_mod(a, b)
+
+    def test_div_pins(self):
+        # the one overflowing case of C integer division: INT64_MIN / -1
+        # is UB in C; this interpreter defines it to wrap (and not trap)
+        assert c_div(INT64_MIN, -1) == INT64_MIN
+        assert c_mod(INT64_MIN, -1) == 0
+        # truncation toward zero, not Python's floor
+        assert c_div(-7, 2) == -3
+        assert c_mod(-7, 2) == -1
+        assert c_div(7, -2) == -3
+        assert c_mod(7, -2) == 1
+
+    @given(int64)
+    def test_div_by_zero_traps(self, a):
+        with pytest.raises(InterpTrap):
+            c_div(a, 0)
+        with pytest.raises(InterpTrap):
+            c_mod(a, 0)
+
+
+# -- shifts -------------------------------------------------------------------
+class TestShifts:
+    @given(int64, st.integers(min_value=0, max_value=200))
+    @example(1, 63)
+    @example(1, 64)
+    @example(-1, 63)
+    @example(INT64_MIN, 1)
+    def test_shl_matches_reference(self, a, count):
+        assert _binop(Opcode.SHL, a, count) == ref_shl(a, count)
+
+    @given(int64, st.integers(min_value=0, max_value=200))
+    @example(-1, 63)
+    @example(INT64_MIN, 63)
+    @example(INT64_MAX, 64)
+    def test_shr_matches_reference(self, a, count):
+        assert _binop(Opcode.SHR, a, count) == ref_shr(a, count)
+
+    def test_shift_pins(self):
+        assert _binop(Opcode.SHL, 1, 63) == INT64_MIN
+        assert _binop(Opcode.SHL, 1, 64) == 1  # count masked to 0
+        assert _binop(Opcode.SHR, -1, 63) == -1  # arithmetic, not logical
+        assert _binop(Opcode.SHR, INT64_MIN, 63) == -1
+
+
+# -- add/sub/mul in the residue domain ---------------------------------------
+class TestRingOps:
+    @given(int64, int64)
+    @example(INT64_MAX, 1)
+    @example(INT64_MIN, -1)
+    @example(INT64_MIN, INT64_MIN)
+    def test_add_matches_reference(self, a, b):
+        assert _binop(Opcode.ADD, a, b) == ref_wrap(a + b)
+
+    @given(int64, int64)
+    @example(INT64_MIN, 1)
+    @example(INT64_MIN, INT64_MAX)
+    def test_sub_matches_reference(self, a, b):
+        assert _binop(Opcode.SUB, a, b) == ref_wrap(a - b)
+
+    @given(int64, int64)
+    @example(INT64_MIN, -1)
+    @example(INT64_MAX, INT64_MAX)
+    @example(2**32, 2**32)
+    def test_mul_matches_reference(self, a, b):
+        assert _binop(Opcode.MUL, a, b) == ref_wrap(a * b)
+
+    @given(int64)
+    @example(INT64_MIN)
+    def test_neg_matches_reference(self, a):
+        # NEG(INT64_MIN) wraps back to INT64_MIN
+        assert _unop(Opcode.NEG, a) == ref_wrap(-a)
+
+    @given(int64)
+    @example(INT64_MIN)
+    @example(-1)
+    def test_not_matches_reference(self, a):
+        assert _unop(Opcode.NOT, a) == ref_wrap(~a)
+
+
+# -- comparisons --------------------------------------------------------------
+class TestCompares:
+    _OPS = {
+        Opcode.CMP_LT: lambda a, b: a < b,
+        Opcode.CMP_LE: lambda a, b: a <= b,
+        Opcode.CMP_GT: lambda a, b: a > b,
+        Opcode.CMP_GE: lambda a, b: a >= b,
+        Opcode.CMP_EQ: lambda a, b: a == b,
+        Opcode.CMP_NE: lambda a, b: a != b,
+    }
+
+    @given(int64, int64)
+    @example(INT64_MIN, INT64_MAX)
+    @example(INT64_MIN, INT64_MIN)
+    @example(0, INT64_MIN)
+    def test_all_compares_match_reference(self, a, b):
+        for op, ref in self._OPS.items():
+            assert _binop(op, a, b) == int(ref(a, b))
