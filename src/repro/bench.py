@@ -22,6 +22,7 @@ import math
 import time
 from pathlib import Path
 
+from .diag.host import host_metadata
 from .errors import ReproError
 from .interp import Machine, MachineOptions
 from .pipeline import PipelineOptions, compile_source
@@ -110,6 +111,7 @@ def bench_interpreters(
     )
     return {
         "schema": BENCH_SCHEMA,
+        "host": host_metadata(),
         "repeats": max(repeats, 1),
         "max_steps": max_steps,
         "programs": programs,

@@ -30,6 +30,14 @@ Commands
     multi-level oracle (-O0 / full ± promotion / pointer, both engines)
     until the ``--budget`` is spent; divergences are delta-reduced and
     recorded as artifacts (see ``docs/FUZZING.md``).
+``serve``
+    Run the resident compile-and-execute service: an asyncio TCP server
+    (newline-delimited JSON) in front of a persistent warm worker pool,
+    with admission control, request coalescing, and the shared result
+    cache (see ``docs/SERVING.md``).  SIGTERM/SIGINT drain gracefully.
+``loadgen``
+    Drive a running server with a configurable concurrency/duration/
+    program-mix campaign and write ``BENCH_serve.json``.
 
 Commands that execute programs accept ``--engine threaded|simple`` to
 pick the interpreter engine (default: the block-threaded one; both
@@ -391,6 +399,91 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return result.exit_code()
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .serve import ReproServer, ServerConfig
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        default_deadline_s=args.deadline,
+        recycle_after=args.recycle_after,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        default_max_steps=args.max_steps,
+    )
+
+    async def main() -> int:
+        server = ReproServer(config)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, lambda: loop.create_task(server.drain())
+            )
+        print(
+            f"repro-serve listening on {config.host}:{server.port} "
+            f"({config.workers} workers, queue limit {config.queue_limit}, "
+            f"cache {'off' if config.cache_dir is None else config.cache_dir})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await server.wait_drained()
+        print("repro-serve drained, exiting", file=sys.stderr)
+        return 0
+
+    return asyncio.run(main())
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve.client import (
+        LoadgenConfig,
+        PAPER_VARIANTS,
+        format_loadgen,
+        run_loadgen,
+        wait_for_server,
+    )
+    from .workloads import workload_names
+
+    programs = tuple(args.programs) if args.programs else None
+    if programs:
+        unknown = sorted(set(programs) - set(workload_names()))
+        if unknown:
+            print(f"unknown workloads: {unknown}", file=sys.stderr)
+            print(f"available: {workload_names()}", file=sys.stderr)
+            return 2
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        concurrency=args.concurrency,
+        duration_s=args.duration,
+        requests=args.requests,
+        programs=programs or LoadgenConfig.programs,
+        variants=PAPER_VARIANTS,
+        max_steps=args.max_steps,
+        deadline_s=args.deadline,
+        warmup=not args.no_warmup,
+        drain_on_finish=args.drain,
+        out=args.out,
+    )
+
+    async def main() -> int:
+        if args.wait:
+            await wait_for_server(config.host, config.port, args.wait)
+        payload = await run_loadgen(config)
+        print(format_loadgen(payload))
+        if config.out:
+            print(f"wrote {config.out}", file=sys.stderr)
+        return 1 if payload["totals"]["errors"] else 0
+
+    return asyncio.run(main())
+
+
 def cmd_drift(args: argparse.Namespace) -> int:
     from .diag.drift import (
         compare_cells,
@@ -597,6 +690,59 @@ def build_parser() -> argparse.ArgumentParser:
     p_fuzz.add_argument("--max-steps", type=int, default=5_000_000,
                         help="interpreter fuel per oracle cell")
     p_fuzz.set_defaults(func=cmd_fuzz)
+
+    p_srv = add_command(
+        "serve", "run the resident compile-and-execute service"
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7411,
+                       help="TCP port (0 = pick a free one; default 7411)")
+    p_srv.add_argument("--workers", type=int, default=2,
+                       help="persistent worker processes (default 2)")
+    p_srv.add_argument("--queue-limit", type=int, default=64,
+                       help="admission queue depth before queue_full "
+                            "rejections (default 64)")
+    p_srv.add_argument("--deadline", type=float, default=120.0,
+                       metavar="SECONDS",
+                       help="per-request deadline cap (default 120)")
+    p_srv.add_argument("--recycle-after", type=int, default=200, metavar="N",
+                       help="recycle each worker after N requests "
+                            "(default 200)")
+    p_srv.add_argument("--max-steps", type=int, default=50_000_000,
+                       help="default interpreter fuel per cell")
+    p_srv.add_argument("--no-cache", action="store_true",
+                       help="don't read or write the result cache")
+    p_srv.add_argument("--cache-dir", default=".repro-cache",
+                       help="result cache location (default: .repro-cache)")
+    p_srv.set_defaults(func=cmd_serve)
+
+    p_lg = add_command(
+        "loadgen", "drive a running server and write BENCH_serve.json"
+    )
+    p_lg.add_argument("--host", default="127.0.0.1")
+    p_lg.add_argument("--port", type=int, default=7411)
+    p_lg.add_argument("--concurrency", type=int, default=8,
+                      help="concurrent connections (default 8)")
+    p_lg.add_argument("--duration", type=float, default=10.0,
+                      metavar="SECONDS",
+                      help="measured campaign length (default 10)")
+    p_lg.add_argument("--requests", type=int, default=None, metavar="N",
+                      help="exact request count (overrides --duration)")
+    p_lg.add_argument("--programs", nargs="*", default=None,
+                      help="workload mix (default: the bench --quick four)")
+    p_lg.add_argument("--max-steps", type=int, default=50_000_000)
+    p_lg.add_argument("--deadline", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="per-request deadline (default 30)")
+    p_lg.add_argument("--no-warmup", action="store_true",
+                      help="skip the cache-priming pass over the mix")
+    p_lg.add_argument("--wait", type=float, default=None, metavar="SECONDS",
+                      help="wait up to SECONDS for the server to come up")
+    p_lg.add_argument("--drain", action="store_true",
+                      help="send a drain request after the campaign")
+    p_lg.add_argument("--out", default="BENCH_serve.json",
+                      help="output path (default: BENCH_serve.json)")
+    p_lg.set_defaults(func=cmd_loadgen)
 
     p_drift = add_command("drift", "gate suite metrics against a baseline")
     p_drift.add_argument("baseline",

@@ -22,6 +22,7 @@ about our own pipeline:
   ``-v/-vv/-q`` flags and the module loggers.
 """
 
+from .host import host_metadata
 from .ledger import (
     Decision,
     DecisionLedger,
@@ -51,6 +52,7 @@ __all__ = [
     "format_decision_table",
     "format_profile",
     "get_logger",
+    "host_metadata",
     "inc_metric",
     "metrics_session",
     "profile_loops",

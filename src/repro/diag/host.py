@@ -1,0 +1,26 @@
+"""Host metadata stamped into benchmark artifacts.
+
+``BENCH_interp.json``, ``BENCH_serve.json``, and ``suite.json`` track
+performance trajectories *in-repo*, which only means something if a
+reader can tell whether two snapshots came from comparable machines.
+:func:`host_metadata` captures the facts that move the numbers: the
+Python version/implementation, the platform, and the core count.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+
+__all__ = ["host_metadata"]
+
+
+def host_metadata() -> dict:
+    """Stable, JSON-ready description of the executing host."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }

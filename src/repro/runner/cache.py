@@ -34,7 +34,7 @@ SCHEMA_VERSION = 2  # v2: payloads carry the cell's published metrics
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 
 #: directories whose edits do not affect experiment results
-_NON_SEMANTIC_PARTS = ("runner",)
+_NON_SEMANTIC_PARTS = ("runner", "serve")
 
 
 def _jsonable(value):

@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..diag.host import host_metadata
 from ..harness.experiments import METRICS, ProgramResult, figure_rows
 from ..interp import MachineOptions
 from ..pipeline import ExperimentCell, PipelineOptions, paper_variants
@@ -108,6 +109,7 @@ class SuiteReport:
         }
         return {
             "schema": SCHEMA_VERSION,
+            "host": host_metadata(),
             "ok": self.ok,
             "jobs": self.jobs,
             "engine": self.engine,

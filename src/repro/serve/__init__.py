@@ -1,0 +1,69 @@
+"""``repro.serve`` — the resident compile-and-execute service.
+
+Turns the one-shot experiment pipeline into a serving system: a
+stdlib-only asyncio TCP server (newline-delimited JSON) in front of a
+persistent worker pool that keeps imports, compiled modules, and the
+block-threaded engine's decode caches warm across requests.
+
+Modules:
+
+* :mod:`~repro.serve.protocol` — wire framing, ops, error codes;
+* :mod:`~repro.serve.queue` — bounded admission queue: backpressure,
+  priority lanes, per-request deadlines;
+* :mod:`~repro.serve.coalesce` — single-flight deduplication of
+  identical in-flight requests (content-addressed keys);
+* :mod:`~repro.serve.pool` — persistent workers executing
+  :mod:`repro.runner.scheduler` cells; crash respawn + retry-once,
+  recycling, deadline kills;
+* :mod:`~repro.serve.metrics` — latency histograms over the
+  :mod:`repro.diag` registry;
+* :mod:`~repro.serve.server` — the asyncio server and endpoint logic;
+* :mod:`~repro.serve.client` — pipelining client + the ``repro
+  loadgen`` campaign harness.
+
+See ``docs/SERVING.md`` for the protocol spec and the ops runbook.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AdmissionQueue",
+    "LatencyHistogram",
+    "LoadgenConfig",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServerConfig",
+    "SingleFlight",
+    "WorkerPool",
+    "run_loadgen",
+    "wait_for_server",
+]
+
+_LAZY = {
+    "AdmissionQueue": "queue",
+    "LatencyHistogram": "metrics",
+    "LoadgenConfig": "client",
+    "ReproServer": "server",
+    "ServeClient": "client",
+    "ServeError": "client",
+    "ServeMetrics": "metrics",
+    "ServerConfig": "server",
+    "SingleFlight": "coalesce",
+    "WorkerPool": "pool",
+    "run_loadgen": "client",
+    "wait_for_server": "client",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

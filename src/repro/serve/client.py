@@ -1,0 +1,416 @@
+"""Client side of ``repro serve``: a pipelining client and the load
+generator behind ``repro loadgen``.
+
+:class:`ServeClient` speaks the NDJSON protocol over one connection,
+matching out-of-order responses to requests by ``id`` so any number of
+requests can be in flight at once.
+
+:func:`run_loadgen` drives a campaign: an optional warm-up pass primes
+the server's result cache with every distinct request in the mix, then
+``concurrency`` workers (one connection each) hammer the mix for
+``duration_s`` seconds (or exactly ``requests`` requests), recording
+client-observed latency and every error code.  The result — throughput,
+p50/p95/p99, error breakdown, cache/coalesce hit counts, the server's
+own metrics snapshot, and host metadata — is written to
+``BENCH_serve.json`` so serving performance has an in-repo trajectory
+just like ``BENCH_interp.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..bench import QUICK_PROGRAMS
+from ..diag.host import host_metadata
+from ..diag.log import get_logger
+from .protocol import encode_frame
+
+_log = get_logger(__name__)
+
+__all__ = [
+    "LoadgenConfig",
+    "ServeClient",
+    "ServeError",
+    "format_loadgen",
+    "run_loadgen",
+    "wait_for_server",
+    "write_loadgen_json",
+]
+
+LOADGEN_SCHEMA = 1
+
+#: error codes that indicate deliberate load shedding rather than a
+#: broken request or server — loadgen reports them separately
+SHED_CODES = frozenset({"queue_full", "deadline_exceeded", "draining"})
+
+PAPER_VARIANTS = (
+    "modref/nopromo", "modref/promo", "pointer/nopromo", "pointer/promo",
+)
+
+
+class ServeError(Exception):
+    """An error response from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """One connection; safe for any number of concurrent ``request``s."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._ids = itertools.count(1)
+        self._pending: dict[int, asyncio.Future] = {}
+        self._write_lock = asyncio.Lock()
+        #: frames the server sent without a matchable id (e.g. the
+        #: payload_too_large notice before closing the connection)
+        self.unmatched: list[dict] = []
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 7411
+    ) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+        priority: str | None = None,
+    ) -> dict:
+        """Send one request, await its response frame (the full dict)."""
+        request_id = next(self._ids)
+        frame: dict = {"id": request_id, "op": op}
+        if params:
+            frame["params"] = params
+        if deadline_s is not None:
+            frame["deadline_s"] = deadline_s
+        if priority is not None:
+            frame["priority"] = priority
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        async with self._write_lock:
+            self._writer.write(encode_frame(frame))
+            await self._writer.drain()
+        return await future
+
+    async def call(
+        self,
+        op: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+        priority: str | None = None,
+    ) -> dict:
+        """Like :meth:`request` but unwraps: result dict or ServeError."""
+        response = await self.request(
+            op, params, deadline_s=deadline_s, priority=priority
+        )
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServeError(
+                error.get("code", "internal"), error.get("message", "")
+            )
+        return response["result"]
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    frame = json.loads(line)
+                except ValueError:
+                    continue
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+                else:
+                    self.unmatched.append(frame)
+        finally:
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ConnectionError("server closed the connection")
+                    )
+            self._pending.clear()
+
+
+async def wait_for_server(
+    host: str, port: int, timeout_s: float = 30.0
+) -> dict:
+    """Poll until the server answers ``health``; returns the health dict."""
+    deadline = time.monotonic() + timeout_s
+    last_error: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            client = await ServeClient.connect(host, port)
+            try:
+                return await client.call("health")
+            finally:
+                await client.close()
+        except (ConnectionError, OSError, ServeError) as error:
+            last_error = error
+            await asyncio.sleep(0.1)
+    raise TimeoutError(
+        f"server at {host}:{port} not healthy after {timeout_s:.0f}s: "
+        f"{last_error}"
+    )
+
+
+# --------------------------------------------------------------------------
+# load generation
+
+
+@dataclass
+class LoadgenConfig:
+    host: str = "127.0.0.1"
+    port: int = 7411
+    concurrency: int = 8
+    duration_s: float = 10.0
+    #: exact request count; overrides ``duration_s`` when set
+    requests: int | None = None
+    op: str = "suite_cell"
+    programs: tuple[str, ...] = QUICK_PROGRAMS
+    variants: tuple[str, ...] = PAPER_VARIANTS
+    max_steps: int = 50_000_000
+    deadline_s: float | None = 30.0
+    #: prime the cache with one pass over the distinct mix first
+    warmup: bool = True
+    #: send ``drain`` once the campaign finishes (CI teardown)
+    drain_on_finish: bool = False
+    out: str | None = "BENCH_serve.json"
+
+
+@dataclass
+class _Tally:
+    latencies: list[float] = field(default_factory=list)
+    ok: int = 0
+    errors: int = 0
+    shed: int = 0
+    from_cache: int = 0
+    coalesced: int = 0
+    by_code: dict[str, int] = field(default_factory=dict)
+
+
+def _mix(config: LoadgenConfig) -> list[dict]:
+    return [
+        {
+            "workload": program,
+            "variant": variant,
+            "max_steps": config.max_steps,
+        }
+        for program in config.programs
+        for variant in config.variants
+    ]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, max(0, round(q * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+async def _campaign_worker(
+    config: LoadgenConfig,
+    mix: list[dict],
+    counter: itertools.count,
+    stop_at: float,
+    tally: _Tally,
+) -> None:
+    client = await ServeClient.connect(config.host, config.port)
+    try:
+        while True:
+            index = next(counter)
+            if config.requests is not None:
+                if index >= config.requests:
+                    break
+            elif time.perf_counter() >= stop_at:
+                break
+            params = mix[index % len(mix)]
+            started = time.perf_counter()
+            try:
+                response = await client.request(
+                    config.op, params, deadline_s=config.deadline_s
+                )
+            except ConnectionError:
+                tally.errors += 1
+                tally.by_code["connection_lost"] = (
+                    tally.by_code.get("connection_lost", 0) + 1
+                )
+                break
+            tally.latencies.append(time.perf_counter() - started)
+            if response.get("ok"):
+                tally.ok += 1
+                result = response["result"]
+                if result.get("from_cache"):
+                    tally.from_cache += 1
+                if result.get("coalesced"):
+                    tally.coalesced += 1
+            else:
+                code = response.get("error", {}).get("code", "internal")
+                tally.by_code[code] = tally.by_code.get(code, 0) + 1
+                if code in SHED_CODES:
+                    tally.shed += 1
+                else:
+                    tally.errors += 1
+    finally:
+        await client.close()
+
+
+async def run_loadgen(config: LoadgenConfig) -> dict:
+    """Run one campaign; returns (and optionally writes) the payload."""
+    mix = _mix(config)
+    warmup_s = 0.0
+    if config.warmup:
+        started = time.perf_counter()
+        client = await ServeClient.connect(config.host, config.port)
+        try:
+            responses = await asyncio.gather(
+                *(
+                    client.request(config.op, params, deadline_s=None)
+                    for params in mix
+                )
+            )
+        finally:
+            await client.close()
+        warmup_s = time.perf_counter() - started
+        failed = [r for r in responses if not r.get("ok")]
+        if failed:
+            raise ServeError(
+                failed[0]["error"].get("code", "internal"),
+                f"warm-up failed for {len(failed)}/{len(mix)} mix cells: "
+                + failed[0]["error"].get("message", ""),
+            )
+
+    tally = _Tally()
+    counter = itertools.count()
+    started = time.perf_counter()
+    stop_at = started + config.duration_s
+    await asyncio.gather(
+        *(
+            _campaign_worker(config, mix, counter, stop_at, tally)
+            for _ in range(max(1, config.concurrency))
+        )
+    )
+    measured_s = max(time.perf_counter() - started, 1e-9)
+
+    server_metrics: dict = {}
+    server_health: dict = {}
+    try:
+        client = await ServeClient.connect(config.host, config.port)
+        try:
+            server_metrics = await client.call("metrics")
+            server_health = await client.call("health")
+            if config.drain_on_finish:
+                await client.call("drain")
+        finally:
+            await client.close()
+    except (ConnectionError, OSError, ServeError) as error:
+        _log.warning("post-campaign server snapshot failed: %s", error)
+
+    ordered = sorted(tally.latencies)
+    total = tally.ok + tally.errors + tally.shed
+    payload = {
+        "schema": LOADGEN_SCHEMA,
+        "host": host_metadata(),
+        "config": {
+            "op": config.op,
+            "concurrency": config.concurrency,
+            "duration_s": config.duration_s,
+            "requests": config.requests,
+            "programs": list(config.programs),
+            "variants": list(config.variants),
+            "max_steps": config.max_steps,
+            "deadline_s": config.deadline_s,
+            "warmup": config.warmup,
+        },
+        "warmup": {"distinct_cells": len(mix), "seconds": round(warmup_s, 3)},
+        "totals": {
+            "requests": total,
+            "ok": tally.ok,
+            "errors": tally.errors,
+            "shed": tally.shed,
+            "from_cache": tally.from_cache,
+            "coalesced": tally.coalesced,
+            "duration_s": round(measured_s, 3),
+            "rps": round(tally.ok / measured_s, 1),
+        },
+        "errors_by_code": dict(sorted(tally.by_code.items())),
+        "latency_ms": {
+            "p50": round(_percentile(ordered, 0.50) * 1000, 3),
+            "p95": round(_percentile(ordered, 0.95) * 1000, 3),
+            "p99": round(_percentile(ordered, 0.99) * 1000, 3),
+            "mean": round(sum(ordered) / len(ordered) * 1000, 3)
+            if ordered
+            else 0.0,
+            "max": round(ordered[-1] * 1000, 3) if ordered else 0.0,
+        },
+        "server": {"metrics": server_metrics, "health": server_health},
+    }
+    if config.out:
+        write_loadgen_json(config.out, payload)
+    return payload
+
+
+def write_loadgen_json(path: str | Path, payload: dict) -> None:
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def format_loadgen(payload: dict) -> str:
+    totals = payload["totals"]
+    latency = payload["latency_ms"]
+    lines = [
+        f"{totals['requests']} requests in {totals['duration_s']:.1f}s "
+        f"over {payload['config']['concurrency']} connection(s): "
+        f"{totals['rps']:.0f} req/s",
+        f"  ok {totals['ok']}  errors {totals['errors']}  "
+        f"shed {totals['shed']}  "
+        f"cache-hits {totals['from_cache']}  coalesced {totals['coalesced']}",
+        f"  latency ms: p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}  "
+        f"p99 {latency['p99']:.2f}  max {latency['max']:.2f}",
+    ]
+    if payload["errors_by_code"]:
+        codes = "  ".join(
+            f"{code}={count}"
+            for code, count in payload["errors_by_code"].items()
+        )
+        lines.append(f"  error codes: {codes}")
+    warmup = payload["warmup"]
+    if warmup["seconds"]:
+        lines.append(
+            f"  warm-up: {warmup['distinct_cells']} distinct cell(s) in "
+            f"{warmup['seconds']:.2f}s"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,62 @@
+"""Single-flight request coalescing.
+
+Identical in-flight requests collapse onto one computation.  "Identical"
+means *the same content-addressed fingerprint* — the exact
+:func:`repro.runner.scheduler.spec_cache_key` the result cache uses, so
+two requests coalesce precisely when they would have produced the same
+cache entry (same source, defines, pipeline options, machine options,
+compiler fingerprint).
+
+The first claimant becomes the **leader** and actually runs the work;
+followers arriving before the leader resolves await the leader's future
+and are never queued, so a thundering herd of N identical requests costs
+one worker execution and N-1 metric ticks (``serve.coalesced``).
+
+Results propagate as ``(ok, payload)`` tuples, never exceptions — a
+failing leader fails its followers with the same error payload, which is
+the correct semantics: they asked the same question.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """In-flight futures keyed by content-addressed fingerprint."""
+
+    def __init__(self) -> None:
+        self._inflight: dict[str, asyncio.Future] = {}
+
+    @property
+    def depth(self) -> int:
+        return len(self._inflight)
+
+    def claim(self, key: str) -> tuple[asyncio.Future, bool]:
+        """Return ``(future, is_leader)`` for ``key``.
+
+        The leader must eventually call :meth:`resolve` exactly once —
+        including on error paths — or followers wait forever.
+        """
+        future = self._inflight.get(key)
+        if future is not None:
+            return future, False
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        return future, True
+
+    def resolve(self, key: str, ok: bool, payload: dict) -> None:
+        """Leader publishes the outcome and retires the key."""
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result((ok, payload))
+
+    def abandon_all(self, code: str, message: str) -> int:
+        """Hard shutdown: fail every in-flight future; returns the count."""
+        failed = 0
+        for key in list(self._inflight):
+            self.resolve(key, False, {"code": code, "message": message})
+            failed += 1
+        return failed

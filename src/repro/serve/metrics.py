@@ -1,0 +1,136 @@
+"""Serving metrics: latency histograms on top of the diag registry.
+
+The server owns one long-lived
+:class:`~repro.diag.metrics.MetricsRegistry` — the same counter/gauge
+vocabulary the passes and the drift gate speak — and publishes serving
+counters into it (``serve.requests``, ``serve.cache_hits``,
+``serve.coalesced``, ``serve.worker_restarts``, ...).  Latencies need
+distribution shape, not just totals, so each op additionally feeds a
+fixed-bucket :class:`LatencyHistogram` from which the ``metrics``
+endpoint reports p50/p95/p99.
+
+Buckets are log-spaced from 0.5 ms to 30 s: a warm-cache hit lands in
+the sub-millisecond buckets, a cold 4-variant compile in the seconds
+range, so one bucket layout covers both regimes.  Quantiles are
+interpolated within the containing bucket — exact enough for serving
+dashboards, constant memory regardless of traffic.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..diag.metrics import MetricsRegistry
+
+__all__ = ["LatencyHistogram", "ServeMetrics"]
+
+#: upper bounds (seconds) of the histogram buckets; a final +inf bucket
+#: catches everything beyond the last bound
+BUCKET_BOUNDS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with interpolated quantiles."""
+
+    __slots__ = ("counts", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = 0
+        for bound in BUCKET_BOUNDS:
+            if seconds <= bound:
+                break
+            index += 1
+        self.counts[index] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """The latency (seconds) at quantile ``q`` in ``[0, 1]``."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < len(BUCKET_BOUNDS)
+                    else self.max
+                )
+                upper = max(upper, lower)
+                fraction = (target - previous) / bucket_count
+                return min(lower + (upper - lower) * fraction, self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_ms": round(self.total / self.count * 1000, 3)
+            if self.count
+            else 0.0,
+            "p50_ms": round(self.quantile(0.50) * 1000, 3),
+            "p95_ms": round(self.quantile(0.95) * 1000, 3),
+            "p99_ms": round(self.quantile(0.99) * 1000, 3),
+            "max_ms": round(self.max * 1000, 3),
+        }
+
+
+class ServeMetrics:
+    """The server's metrics façade: one registry + per-op histograms."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        # an empty registry is falsy (``__len__``), so test identity
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.latency: dict[str, LatencyHistogram] = {}
+        self.queue_wait = LatencyHistogram()
+        self.started_at = time.monotonic()
+
+    def observe_request(self, op: str, seconds: float, ok: bool) -> None:
+        self.registry.inc("serve.requests")
+        self.registry.inc(f"serve.requests.{op}")
+        if not ok:
+            self.registry.inc("serve.errors")
+        histogram = self.latency.get(op)
+        if histogram is None:
+            histogram = self.latency[op] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    def observe_error(self, code: str) -> None:
+        self.registry.inc(f"serve.errors.{code}")
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self.queue_wait.observe(seconds)
+
+    def inc(self, name: str, delta: int | float = 1) -> None:
+        self.registry.inc(name, delta)
+
+    def set_gauge(self, name: str, value: int | float) -> None:
+        self.registry.set_gauge(name, value)
+
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_at
+
+    def snapshot(self) -> dict:
+        return {
+            "uptime_s": round(self.uptime_s(), 3),
+            "metrics": self.registry.as_dict(),
+            "latency": {
+                op: histogram.snapshot()
+                for op, histogram in sorted(self.latency.items())
+            },
+            "queue_wait": self.queue_wait.snapshot(),
+        }

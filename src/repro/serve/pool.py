@@ -1,0 +1,399 @@
+"""Persistent worker pool: warm processes executing scheduler cells.
+
+The one-shot CLI pays interpreter start-up, module imports, and compile
+time on every invocation.  Workers here are long-lived
+:mod:`multiprocessing` processes that amortize all three:
+
+* imports happen once per worker lifetime;
+* each worker keeps a ``compile_cache`` dict (keyed by
+  :func:`repro.runner.scheduler.compile_memo_key`) so repeat requests
+  for the same source/options reuse the compiled module — and with it
+  the block-threaded engine's decode cache, which lives on the
+  :class:`~repro.ir.module.Module`;
+* the request unit is exactly the scheduler's cell
+  (:func:`repro.runner.scheduler.execute_cell`), so serving and the
+  batch runner share semantics, metrics, and cache keys.
+
+Lifecycle invariants (the parts the tests pin down):
+
+* a worker is **recycled** (graceful shutdown + fresh spawn) after
+  ``recycle_after`` requests, bounding memory growth of the warm caches;
+* a worker that **crashes** mid-request (segfault, ``kill -9``) is
+  killed/joined — never left as a zombie — and respawned; the in-flight
+  request is retried once on the fresh worker, then failed cleanly with
+  ``worker_crashed`` while the pool keeps serving;
+* when a request **deadline fires mid-cell** the worker is killed and
+  reaped immediately (the cell cannot be cancelled cooperatively —
+  unlike the batch scheduler we never abandon a hot worker to its
+  ``max_steps`` fuel) and a replacement is spawned before the next
+  ticket is picked up.
+
+Each pool slot runs one asyncio *driver* task: pull a ticket from the
+admission queue, ship the job over the worker's pipe, await the reply in
+an executor thread (bounded by the ticket's remaining deadline), settle
+the ticket's future.  Drain = close the queue; drivers finish their
+in-flight ticket, shut their worker down gracefully, and exit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import signal
+import time
+import traceback
+
+from ..diag.log import get_logger
+from .metrics import ServeMetrics
+from .queue import AdmissionQueue, Ticket
+
+_log = get_logger(__name__)
+
+__all__ = ["WorkerPool", "worker_main"]
+
+#: default requests handled before a worker is recycled
+DEFAULT_RECYCLE_AFTER = 200
+
+#: crash retries per request ("retried once then failed cleanly")
+CRASH_RETRIES = 1
+
+_JOIN_TIMEOUT = 5.0
+
+
+# --------------------------------------------------------------------------
+# child side
+
+
+def _handle_job(job: dict, compile_cache: dict) -> dict:
+    """Execute one job inside the worker process."""
+    kind = job["kind"]
+    if kind == "cell":
+        from ..runner.scheduler import execute_cell
+
+        spec = job["spec"]
+        cell = execute_cell(spec, compile_cache=compile_cache)
+        return {
+            "workload": cell.workload,
+            "variant": cell.variant,
+            "cell": cell.cache_payload(),
+        }
+    if kind == "compile":
+        from ..ir.printer import format_module
+        from ..pipeline import compile_source
+
+        compiled = compile_source(
+            job["source"],
+            job["options"],
+            name=job.get("name", "request"),
+            defines=job.get("defines") or None,
+        )
+        reports = list(compiled.promotion_reports.values())
+        tags = (
+            set().union(*(r.promoted_tags for r in reports)) if reports else set()
+        )
+        return {
+            "variant": job["options"].variant_name(),
+            "il": format_module(compiled.module),
+            "promotion": {
+                "tags_promoted": len(tags),
+                "references_rewritten": sum(
+                    r.references_rewritten for r in reports
+                ),
+                "loads_inserted": sum(r.loads_inserted for r in reports),
+                "stores_inserted": sum(r.stores_inserted for r in reports),
+            },
+        }
+    if kind == "explain":
+        from ..diag.ledger import decision_ledger
+        from ..pipeline import compile_source
+
+        with decision_ledger() as ledger:
+            compile_source(
+                job["source"],
+                job["options"],
+                name=job.get("name", "request"),
+                defines=job.get("defines") or None,
+            )
+        filters = job.get("filters") or {}
+        decisions = ledger.query(**filters)
+        return {
+            "count": len(decisions),
+            "decisions": [decision.as_dict() for decision in decisions],
+        }
+    raise ValueError(f"unknown job kind {kind!r}")
+
+
+def worker_main(conn) -> None:
+    """Child entry point: serve jobs from the pipe until told to stop."""
+    # the server handles SIGINT/SIGTERM itself and drains; a stray
+    # terminal Ctrl-C must not take the workers down mid-cell
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    compile_cache: dict = {}
+    while True:
+        try:
+            job = conn.recv()
+        except (EOFError, OSError):
+            break
+        if job is None:  # graceful shutdown / recycle sentinel
+            break
+        try:
+            result = _handle_job(job, compile_cache)
+            reply = {"ok": True, "result": result}
+        except Exception as error:
+            from ..errors import ReproError
+
+            code = "cell_failed" if isinstance(error, ReproError) else "internal"
+            message = "".join(
+                traceback.format_exception_only(type(error), error)
+            ).strip()
+            reply = {"ok": False, "error": {"code": code, "message": message}}
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+    conn.close()
+
+
+# --------------------------------------------------------------------------
+# parent side
+
+
+def _default_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context("spawn")
+
+
+def _consume_exception(future) -> None:
+    """Swallow exceptions of abandoned recv futures (killed workers)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class _WorkerHandle:
+    """One child process plus its parent-side pipe end."""
+
+    def __init__(self, ctx) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.process = ctx.Process(
+            target=worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.handled = 0
+        self.started_at = time.monotonic()
+
+    @property
+    def pid(self) -> int:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL + join: the worker is dead *and reaped* on return."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(_JOIN_TIMEOUT)
+        self.conn.close()
+
+    def shutdown(self) -> None:
+        """Graceful stop: sentinel, bounded join, kill as last resort."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(_JOIN_TIMEOUT)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join(_JOIN_TIMEOUT)
+        self.conn.close()
+
+
+class _Slot:
+    """A pool position: the current worker + driver-task bookkeeping."""
+
+    def __init__(self, index: int, worker: _WorkerHandle) -> None:
+        self.index = index
+        self.worker = worker
+        self.busy = False
+        self.restarts = 0
+        self.recycles = 0
+
+
+class WorkerPool:
+    """``size`` slots driving workers off one :class:`AdmissionQueue`."""
+
+    def __init__(
+        self,
+        queue: AdmissionQueue,
+        *,
+        size: int = 2,
+        recycle_after: int = DEFAULT_RECYCLE_AFTER,
+        metrics: ServeMetrics | None = None,
+        mp_context=None,
+    ) -> None:
+        self.queue = queue
+        self.size = max(1, size)
+        self.recycle_after = max(1, recycle_after)
+        self.metrics = metrics or ServeMetrics()
+        self.ctx = mp_context or _default_context()
+        self.slots: list[_Slot] = []
+        self._drivers: list[asyncio.Task] = []
+        self._hard_stop = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        self.slots = [
+            _Slot(index, _WorkerHandle(self.ctx)) for index in range(self.size)
+        ]
+        self._drivers = [
+            asyncio.create_task(self._drive(slot), name=f"serve-worker-{slot.index}")
+            for slot in self.slots
+        ]
+        self._update_gauges()
+
+    async def drain(self) -> None:
+        """Finish in-flight work, shut every worker down, return."""
+        self.queue.close()
+        if self._drivers:
+            await asyncio.gather(*self._drivers, return_exceptions=True)
+
+    async def stop(self) -> None:
+        """Hard stop: fail queued work, kill workers, cancel drivers."""
+        self._hard_stop = True
+        self.queue.close()
+        self.queue.fail_pending("draining", "server shut down")
+        for driver in self._drivers:
+            driver.cancel()
+        if self._drivers:
+            await asyncio.gather(*self._drivers, return_exceptions=True)
+        for slot in self.slots:
+            slot.worker.kill()
+
+    def describe(self) -> list[dict]:
+        """Per-worker health facts for the ``health`` endpoint."""
+        return [
+            {
+                "pid": slot.worker.pid,
+                "busy": slot.busy,
+                "handled": slot.worker.handled,
+                "restarts": slot.restarts,
+                "recycles": slot.recycles,
+                "alive": slot.worker.alive(),
+            }
+            for slot in self.slots
+        ]
+
+    @property
+    def busy_count(self) -> int:
+        return sum(1 for slot in self.slots if slot.busy)
+
+    # -- the driver loop ---------------------------------------------------
+
+    async def _drive(self, slot: _Slot) -> None:
+        try:
+            while True:
+                ticket = await self.queue.get()
+                if ticket is None:
+                    break
+                slot.busy = True
+                self._update_gauges()
+                self.metrics.observe_queue_wait(
+                    time.monotonic() - ticket.enqueued_at
+                )
+                try:
+                    await self._execute(slot, ticket)
+                finally:
+                    slot.busy = False
+                    self._update_gauges()
+                if slot.worker.handled >= self.recycle_after:
+                    self._recycle(slot)
+        except asyncio.CancelledError:
+            raise
+        finally:
+            # on hard stop the pool kills workers itself; a bounded join
+            # here would stall the event loop during cancellation
+            if not self._hard_stop:
+                slot.worker.shutdown()
+
+    async def _execute(self, slot: _Slot, ticket: Ticket) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            worker = slot.worker
+            try:
+                worker.conn.send(ticket.job)
+            except (BrokenPipeError, OSError):
+                # died while idle: not an execution attempt, just respawn
+                self._replace(slot, reason="idle_crash")
+                continue
+            ticket.attempts += 1
+            recv = loop.run_in_executor(None, worker.conn.recv)
+            recv.add_done_callback(_consume_exception)
+            try:
+                reply = await asyncio.wait_for(
+                    asyncio.shield(recv), ticket.remaining()
+                )
+            except asyncio.TimeoutError:
+                # deadline fired mid-cell: kill the worker (don't leak it,
+                # don't let the cell burn CPU to its max_steps fuel)
+                self._replace(slot, reason="deadline_kill")
+                ticket.fail(
+                    "deadline_exceeded",
+                    f"deadline fired mid-cell after attempt {ticket.attempts}; "
+                    "worker killed and respawned",
+                )
+                return
+            except (EOFError, OSError, BrokenPipeError):
+                self._replace(slot, reason="crash")
+                if ticket.attempts <= CRASH_RETRIES and not ticket.expired():
+                    _log.warning(
+                        "worker crashed mid-request (attempt %d); retrying "
+                        "on a fresh worker", ticket.attempts,
+                    )
+                    continue
+                ticket.fail(
+                    "worker_crashed",
+                    f"worker died {ticket.attempts} time(s) on this request",
+                )
+                return
+            worker.handled += 1
+            if reply.get("ok"):
+                ticket.fulfil(reply["result"])
+            else:
+                error = reply.get("error", {})
+                ticket.fail(
+                    error.get("code", "internal"),
+                    error.get("message", "worker reported no detail"),
+                )
+            return
+
+    # -- worker replacement ------------------------------------------------
+
+    def _replace(self, slot: _Slot, reason: str) -> None:
+        slot.worker.kill()
+        slot.restarts += 1
+        self.metrics.inc("serve.worker_restarts")
+        self.metrics.inc(f"serve.worker_restarts.{reason}")
+        _log.info(
+            "worker %d (pid %s) replaced: %s",
+            slot.index, slot.worker.pid, reason,
+        )
+        slot.worker = _WorkerHandle(self.ctx)
+
+    def _recycle(self, slot: _Slot) -> None:
+        slot.worker.shutdown()
+        slot.recycles += 1
+        self.metrics.inc("serve.worker_recycles")
+        _log.info(
+            "worker %d recycled after %d request(s)",
+            slot.index, self.recycle_after,
+        )
+        slot.worker = _WorkerHandle(self.ctx)
+
+    def _update_gauges(self) -> None:
+        self.metrics.set_gauge("serve.queue_depth", self.queue.depth)
+        self.metrics.set_gauge("serve.workers_busy", self.busy_count)

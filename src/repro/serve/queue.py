@@ -1,0 +1,175 @@
+"""Admission control: a bounded two-lane queue with deadlines.
+
+Every unit of worker-pool work enters through here.  The queue enforces
+the server's backpressure contract:
+
+* **bounded depth** — ``put`` raises :class:`QueueFull` once ``limit``
+  normal-lane tickets are waiting, so overload turns into an explicit
+  ``queue_full`` rejection the client can retry against, never an
+  unbounded in-memory backlog;
+* **priority lanes** — ``high`` tickets (health probes, operator
+  traffic) are dequeued before any ``normal`` ticket and have their own
+  small reserve so a saturated normal lane cannot starve them;
+* **deadlines** — a ticket whose absolute deadline has already passed
+  when a worker would pick it up is failed with ``deadline_exceeded``
+  at dequeue time instead of wasting a worker on a result nobody is
+  waiting for;
+* **draining** — after :meth:`close`, ``put`` raises :class:`Draining`
+  and waiters are released once the backlog is empty (``get`` returns
+  ``None``), which is what lets a drain finish in-flight work without
+  accepting new work.
+
+Tickets resolve through their ``future`` (an :class:`asyncio.Future` of
+``(ok, payload)``); the queue itself only ever *fails* tickets — the
+worker pool fulfils them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["AdmissionQueue", "Draining", "QueueFull", "Ticket"]
+
+#: extra slots reserved for the high-priority lane beyond ``limit``
+HIGH_LANE_RESERVE = 8
+
+
+class QueueFull(Exception):
+    """The normal lane is at capacity; the request must be rejected."""
+
+
+class Draining(Exception):
+    """The server is draining; no new work is admitted."""
+
+
+@dataclass
+class Ticket:
+    """One queued unit of work plus its completion future."""
+
+    job: dict
+    future: asyncio.Future
+    #: absolute :func:`time.monotonic` deadline, or None for no deadline
+    deadline: float | None = None
+    priority: str = "normal"
+    enqueued_at: float = field(default_factory=time.monotonic)
+    attempts: int = 0
+
+    def remaining(self, now: float | None = None) -> float | None:
+        """Seconds left before the deadline; None when unbounded."""
+        if self.deadline is None:
+            return None
+        return self.deadline - (time.monotonic() if now is None else now)
+
+    def expired(self, now: float | None = None) -> bool:
+        remaining = self.remaining(now)
+        return remaining is not None and remaining <= 0
+
+    def fail(self, code: str, message: str) -> None:
+        if not self.future.done():
+            self.future.set_result((False, {"code": code, "message": message}))
+
+    def fulfil(self, payload: dict) -> None:
+        if not self.future.done():
+            self.future.set_result((True, payload))
+
+
+class AdmissionQueue:
+    """Two deques + a condition variable; see the module docstring."""
+
+    def __init__(self, limit: int = 64) -> None:
+        self.limit = limit
+        self._high: list[Ticket] = []
+        self._normal: list[Ticket] = []
+        self._closed = False
+        self._waiters: list[asyncio.Future] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._high) + len(self._normal)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def put(self, ticket: Ticket) -> None:
+        """Admit a ticket or raise :class:`QueueFull` / :class:`Draining`."""
+        if self._closed:
+            raise Draining("server is draining")
+        if ticket.priority == "high":
+            if len(self._high) >= self.limit + HIGH_LANE_RESERVE:
+                raise QueueFull(
+                    f"high lane at capacity ({len(self._high)} waiting)"
+                )
+            self._high.append(ticket)
+        else:
+            if len(self._normal) >= self.limit:
+                raise QueueFull(
+                    f"admission queue at capacity ({len(self._normal)} waiting)"
+                )
+            self._normal.append(ticket)
+        self._wake_one()
+
+    async def get(self) -> Ticket | None:
+        """Next runnable ticket; ``None`` once drained and empty.
+
+        Tickets that expired while queued are failed here and skipped —
+        the caller only ever sees work that still has budget.
+        """
+        while True:
+            ticket = self._pop()
+            if ticket is not None:
+                if ticket.expired():
+                    ticket.fail(
+                        "deadline_exceeded",
+                        "deadline expired while queued "
+                        f"(waited {time.monotonic() - ticket.enqueued_at:.3f}s)",
+                    )
+                    continue
+                return ticket
+            if self._closed:
+                return None
+            waiter: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await waiter
+            finally:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+
+    def requeue(self, ticket: Ticket) -> None:
+        """Put a ticket back at the *front* of its lane (crash retry)."""
+        lane = self._high if ticket.priority == "high" else self._normal
+        lane.insert(0, ticket)
+        self._wake_one()
+
+    def close(self) -> None:
+        """Stop admitting; release every waiter so drains can finish."""
+        self._closed = True
+        for waiter in self._waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+
+    def fail_pending(self, code: str, message: str) -> int:
+        """Fail every queued ticket (hard shutdown); returns the count."""
+        failed = 0
+        for ticket in self._high + self._normal:
+            ticket.fail(code, message)
+            failed += 1
+        self._high.clear()
+        self._normal.clear()
+        return failed
+
+    def _pop(self) -> Ticket | None:
+        if self._high:
+            return self._high.pop(0)
+        if self._normal:
+            return self._normal.pop(0)
+        return None
+
+    def _wake_one(self) -> None:
+        for waiter in self._waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+                return

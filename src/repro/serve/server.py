@@ -1,0 +1,546 @@
+"""The ``repro serve`` asyncio TCP server.
+
+Request path for the work ops (``compile`` / ``run`` / ``suite_cell`` /
+``explain``)::
+
+    parse -> result cache -> single-flight coalesce -> admission queue
+          -> worker pool -> (cache write-back) -> response
+
+* **cache** — cell-shaped ops (``run``, ``suite_cell``) are keyed with
+  the scheduler's content-addressed fingerprint, so completed results
+  are served straight from ``.repro-cache/`` and a warm serving cache is
+  interchangeable with a warm ``repro suite`` cache;
+* **coalesce** — identical in-flight requests collapse onto one
+  computation (see :mod:`repro.serve.coalesce`);
+* **admission** — bounded queue with priority lanes and per-request
+  deadlines (see :mod:`repro.serve.queue`); overload is an explicit
+  ``queue_full`` error, a deadline firing mid-cell kills the worker;
+* **control ops** — ``health`` / ``metrics`` / ``drain`` are answered
+  inline on the event loop and never queue, so they stay responsive
+  under full load.
+
+Connections may pipeline: each request is dispatched as its own task and
+responses are written (serialized per connection) as they complete, so
+one connection with N in-flight requests behaves like N logical clients
+— that is what makes single-connection coalescing and the load
+generator's concurrency model work.
+
+Draining (``drain`` op or SIGTERM in the CLI) closes the listener and
+stops admitting new work (``draining`` errors); everything already
+admitted — in-flight *and* queued — still completes and is answered,
+pending responses are flushed, then connections close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import time
+from dataclasses import dataclass
+
+from ..diag.host import host_metadata
+from ..diag.log import get_logger
+from ..interp import MachineOptions
+from ..pipeline import Analysis, PipelineOptions, paper_variants
+from .coalesce import SingleFlight
+from .metrics import ServeMetrics
+from .pool import DEFAULT_RECYCLE_AFTER, WorkerPool
+from .protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    encode_error,
+    encode_result,
+    parse_request,
+)
+from .queue import AdmissionQueue, Draining, QueueFull, Ticket
+
+_log = get_logger(__name__)
+
+__all__ = ["ReproServer", "ServerConfig"]
+
+
+@dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 7411
+    workers: int = 2
+    queue_limit: int = 64
+    #: cap applied when a request carries no ``deadline_s``
+    default_deadline_s: float = 120.0
+    recycle_after: int = DEFAULT_RECYCLE_AFTER
+    #: result-cache directory; ``None`` disables the cache entirely
+    cache_dir: str | None = ".repro-cache"
+    default_max_steps: int = 50_000_000
+    max_line_bytes: int = MAX_LINE_BYTES
+
+
+class ReproServer:
+    """One serving instance; create, ``await start()``, ``await drain()``."""
+
+    def __init__(self, config: ServerConfig | None = None) -> None:
+        self.config = config or ServerConfig()
+        self.metrics = ServeMetrics()
+        self.queue = AdmissionQueue(limit=self.config.queue_limit)
+        self.pool = WorkerPool(
+            self.queue,
+            size=self.config.workers,
+            recycle_after=self.config.recycle_after,
+            metrics=self.metrics,
+        )
+        self.flight = SingleFlight()
+        if self.config.cache_dir is not None:
+            from ..runner.cache import ResultCache
+
+            self.cache = ResultCache(self.config.cache_dir)
+        else:
+            self.cache = None
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        await self.pool.start()
+        self._server = await asyncio.start_server(
+            self._on_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        _log.info(
+            "repro-serve listening on %s:%d (%d workers, queue limit %d)",
+            self.config.host, self.port, self.config.workers,
+            self.config.queue_limit,
+        )
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (useful with ``port=0``)."""
+        assert self._server is not None and self._server.sockets
+        return self._server.sockets[0].getsockname()[1]
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def drain(self) -> None:
+        """Graceful shutdown: finish in-flight, flush, close, return."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        self.metrics.set_gauge("serve.draining", 1)
+        _log.info("drain: no longer accepting work")
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.pool.drain()
+        # every ticket is settled; let the response writers run dry
+        pending = [task for task in self._request_tasks if not task.done()]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._drained.set()
+        _log.info("drain complete")
+
+    async def stop(self) -> None:
+        """Hard stop for tests/teardown; pending work fails ``draining``."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        await self.pool.stop()
+        self.flight.abandon_all("draining", "server shut down")
+        for task in list(self._request_tasks):
+            task.cancel()
+        if self._request_tasks:
+            await asyncio.gather(*self._request_tasks, return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+        self._drained.set()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    self.metrics.observe_error("payload_too_large")
+                    await self._send(
+                        writer,
+                        write_lock,
+                        encode_error(
+                            None,
+                            "payload_too_large",
+                            f"frame exceeds {self.config.max_line_bytes} "
+                            "bytes; closing connection",
+                        ),
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._serve_request(line, writer, write_lock)
+                )
+                tasks.add(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(tasks.discard)
+                task.add_done_callback(self._request_tasks.discard)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _serve_request(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        started = time.monotonic()
+        op = "invalid"
+        ok = False
+        try:
+            request = parse_request(line)
+            op = request.op
+            result = await self._dispatch(request)
+            ok = True
+            frame = encode_result(request.id, result)
+        except ProtocolError as error:
+            self.metrics.observe_error(error.code)
+            frame = encode_error(error.request_id, error.code, error.message)
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # pragma: no cover - defensive
+            _log.exception("internal error serving request")
+            self.metrics.observe_error("internal")
+            frame = encode_error(None, "internal", f"{type(error).__name__}: {error}")
+        self.metrics.observe_request(op, time.monotonic() - started, ok)
+        await self._send(writer, write_lock, frame)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, lock: asyncio.Lock, frame: bytes
+    ) -> None:
+        async with lock:
+            if writer.is_closing():
+                return
+            writer.write(frame)
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                await writer.drain()
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch(self, request: Request) -> dict:
+        if request.op == "health":
+            return self._health()
+        if request.op == "metrics":
+            return self._metrics()
+        if request.op == "drain":
+            asyncio.get_running_loop().create_task(self.drain())
+            return {"status": "draining"}
+        job, key, cacheable = self._build_job(request)
+        return await self._submit(request, job, key, cacheable)
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(self.metrics.uptime_s(), 3),
+            "queue_depth": self.queue.depth,
+            "inflight": self.flight.depth,
+            "draining": self._draining,
+            "workers": self.pool.describe(),
+        }
+
+    def _metrics(self) -> dict:
+        self.metrics.set_gauge("serve.queue_depth", self.queue.depth)
+        self.metrics.set_gauge("serve.workers_busy", self.pool.busy_count)
+        snapshot = self.metrics.snapshot()
+        snapshot["host"] = host_metadata()
+        if self.cache is not None:
+            snapshot["cache"] = {
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+            }
+        return snapshot
+
+    # -- request -> job translation ---------------------------------------
+
+    def _build_job(self, request: Request) -> tuple[dict, str, bool]:
+        from ..runner.scheduler import spec_cache_key
+
+        params = request.params
+        if request.op in ("run", "suite_cell"):
+            if request.op == "run":
+                spec = self._run_spec(request)
+            else:
+                spec = self._suite_cell_spec(request)
+            return {"kind": "cell", "spec": spec}, spec_cache_key(spec), True
+        if request.op == "compile":
+            source = self._required_str(request, params, "source")
+            options = self._pipeline_options(request, params)
+            defines = self._defines(request, params)
+            job = {
+                "kind": "compile",
+                "source": source,
+                "name": params.get("name", "request"),
+                "defines": defines,
+                "options": options,
+            }
+            return job, self._aux_key("compile", source, defines, options), False
+        if request.op == "explain":
+            source = self._required_str(request, params, "source")
+            options = self._pipeline_options(request, params)
+            defines = self._defines(request, params)
+            filters = params.get("filters") or {}
+            allowed = {"pass_name", "function", "loop", "tag", "action"}
+            if not isinstance(filters, dict) or set(filters) - allowed:
+                raise ProtocolError(
+                    "invalid_params",
+                    f"filters must be an object with keys from {sorted(allowed)}",
+                    request.id,
+                )
+            job = {
+                "kind": "explain",
+                "source": source,
+                "name": params.get("name", "request"),
+                "defines": defines,
+                "options": options,
+                "filters": filters,
+            }
+            key = self._aux_key("explain", source, defines, options, filters)
+            return job, key, False
+        raise ProtocolError(
+            "unknown_op", f"unhandled op {request.op!r}", request.id
+        )  # pragma: no cover - parse_request already rejects
+
+    @staticmethod
+    def _aux_key(op: str, source: str, defines, options, extra=None) -> str:
+        from ..runner.cache import cell_key
+
+        digest = hashlib.sha256(
+            json.dumps(extra or {}, sort_keys=True).encode()
+        ).hexdigest()
+        return f"{op}:{cell_key(source, defines, options, None)}:{digest}"
+
+    @staticmethod
+    def _required_str(request: Request, params: dict, name: str) -> str:
+        value = params.get(name)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(
+                "invalid_params",
+                f"params.{name} must be a non-empty string",
+                request.id,
+            )
+        return value
+
+    def _defines(self, request: Request, params: dict) -> dict[str, str]:
+        defines = params.get("defines") or {}
+        if not isinstance(defines, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in defines.items()
+        ):
+            raise ProtocolError(
+                "invalid_params",
+                "params.defines must map strings to strings",
+                request.id,
+            )
+        return defines
+
+    def _pipeline_options(self, request: Request, params: dict) -> PipelineOptions:
+        analysis = params.get("analysis", "modref")
+        try:
+            analysis = Analysis(analysis)
+        except ValueError:
+            raise ProtocolError(
+                "invalid_params",
+                f"analysis must be one of {[a.value for a in Analysis]}, "
+                f"got {analysis!r}",
+                request.id,
+            )
+        return PipelineOptions(
+            analysis=analysis,
+            promotion=bool(params.get("promotion", True)),
+            pointer_promotion=bool(params.get("pointer_promotion", False)),
+        )
+
+    def _machine_options(self, request: Request, params: dict) -> MachineOptions:
+        engine = params.get("engine", "threaded")
+        if engine not in ("threaded", "simple"):
+            raise ProtocolError(
+                "invalid_params",
+                f"engine must be 'threaded' or 'simple', got {engine!r}",
+                request.id,
+            )
+        max_steps = params.get("max_steps", self.config.default_max_steps)
+        if not isinstance(max_steps, int) or max_steps <= 0:
+            raise ProtocolError(
+                "invalid_params",
+                "max_steps must be a positive integer",
+                request.id,
+            )
+        return MachineOptions(max_steps=max_steps, engine=engine)
+
+    def _run_spec(self, request: Request):
+        from ..runner.scheduler import CellSpec
+
+        params = request.params
+        source = self._required_str(request, params, "source")
+        options = self._pipeline_options(request, params)
+        machine = self._machine_options(request, params)
+        defines = self._defines(request, params)
+        return CellSpec(
+            workload=params.get("name", "request"),
+            variant=options.variant_name(),
+            source=source,
+            options=options,
+            machine=machine,
+            defines=tuple(sorted(defines.items())),
+        )
+
+    def _suite_cell_spec(self, request: Request):
+        from ..runner.scheduler import CellSpec
+        from ..workloads import get_workload, workload_names
+
+        params = request.params
+        workload_name = self._required_str(request, params, "workload")
+        if workload_name not in workload_names():
+            raise ProtocolError(
+                "invalid_params",
+                f"unknown workload {workload_name!r}; "
+                f"available: {workload_names()}",
+                request.id,
+            )
+        variants = paper_variants(
+            pointer_promotion=bool(params.get("pointer_promotion", False))
+        )
+        variant = params.get("variant", "modref/promo")
+        if variant not in variants:
+            raise ProtocolError(
+                "invalid_params",
+                f"variant must be one of {sorted(variants)}, got {variant!r}",
+                request.id,
+            )
+        machine = self._machine_options(request, params)
+        workload = get_workload(workload_name)
+        # identical to build_suite_specs so the cache fingerprint is
+        # shared with `repro suite` runs
+        return CellSpec(
+            workload=workload.name,
+            variant=variant,
+            source=workload.source,
+            options=variants[variant],
+            machine=machine,
+            defines=tuple(sorted(workload.defines.items())),
+        )
+
+    # -- work submission ---------------------------------------------------
+
+    async def _submit(
+        self, request: Request, job: dict, key: str, cacheable: bool
+    ) -> dict:
+        if self._draining:
+            raise ProtocolError("draining", "server is draining", request.id)
+        if cacheable and self.cache is not None:
+            payload = self.cache.get(key)
+            if payload is not None:
+                self.metrics.inc("serve.cache_hits")
+                return self._cell_result(
+                    job, dict(payload), from_cache=True, coalesced=False
+                )
+        future, leader = self.flight.claim(key)
+        if not leader:
+            self.metrics.inc("serve.coalesced")
+            ok, payload = await asyncio.shield(future)
+            if not ok:
+                raise ProtocolError(
+                    self._error_code(payload), payload["message"], request.id
+                )
+            return self._format_result(job, payload, coalesced=True)
+
+        ok = False
+        payload: dict = {"code": "internal", "message": "leader aborted"}
+        try:
+            deadline_s = min(
+                request.deadline_s or self.config.default_deadline_s,
+                self.config.default_deadline_s,
+            )
+            ticket = Ticket(
+                job=job,
+                future=asyncio.get_running_loop().create_future(),
+                deadline=time.monotonic() + deadline_s,
+                priority=request.priority,
+            )
+            try:
+                self.queue.put(ticket)
+            except QueueFull as error:
+                self.metrics.inc("serve.rejected_queue_full")
+                payload = {"code": "queue_full", "message": str(error)}
+                raise ProtocolError("queue_full", str(error), request.id)
+            except Draining as error:
+                payload = {"code": "draining", "message": str(error)}
+                raise ProtocolError("draining", str(error), request.id)
+            self.metrics.set_gauge("serve.queue_depth", self.queue.depth)
+            ok, payload = await ticket.future
+            if ok:
+                self.metrics.inc("serve.executed")
+                if cacheable and self.cache is not None:
+                    self.cache.put(key, dict(payload["cell"]))
+        finally:
+            self.flight.resolve(key, ok, payload)
+        if not ok:
+            raise ProtocolError(
+                self._error_code(payload), payload["message"], request.id
+            )
+        return self._format_result(job, payload, coalesced=False)
+
+    @staticmethod
+    def _error_code(payload: dict) -> str:
+        code = payload.get("code", "internal")
+        return code if code in ERROR_CODES else "internal"
+
+    def _format_result(self, job: dict, payload: dict, coalesced: bool) -> dict:
+        if job["kind"] == "cell":
+            return self._cell_result(
+                job, dict(payload["cell"]), from_cache=False, coalesced=coalesced
+            )
+        result = dict(payload)
+        result["coalesced"] = coalesced
+        return result
+
+    @staticmethod
+    def _cell_result(
+        job: dict, cell: dict, from_cache: bool, coalesced: bool
+    ) -> dict:
+        spec = job["spec"]
+        cell.pop("schema", None)
+        cell.update(
+            workload=spec.workload,
+            variant=spec.variant,
+            from_cache=from_cache,
+            coalesced=coalesced,
+        )
+        return cell

@@ -1,0 +1,91 @@
+"""Single-flight coalescing semantics."""
+
+import asyncio
+
+from repro.serve.coalesce import SingleFlight
+from tests.serve.helpers import run_async
+
+
+class TestSingleFlight:
+    def test_first_claim_leads(self):
+        async def scenario():
+            flight = SingleFlight()
+            _, leader = flight.claim("k")
+            assert leader
+            assert flight.depth == 1
+
+        run_async(scenario())
+
+    def test_followers_share_the_leaders_future(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, leader = flight.claim("k")
+            follower_future, follower_leads = flight.claim("k")
+            assert leader and not follower_leads
+            assert follower_future is future
+            flight.resolve("k", True, {"value": 1})
+            assert await future == (True, {"value": 1})
+            assert flight.depth == 0
+
+        run_async(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            flight = SingleFlight()
+            _, first_leads = flight.claim("a")
+            _, second_leads = flight.claim("b")
+            assert first_leads and second_leads
+
+        run_async(scenario())
+
+    def test_resolve_retires_key_for_new_leaders(self):
+        async def scenario():
+            flight = SingleFlight()
+            flight.claim("k")
+            flight.resolve("k", False, {"code": "cell_failed", "message": "x"})
+            _, leads_again = flight.claim("k")
+            assert leads_again  # a completed flight doesn't absorb new work
+
+        run_async(scenario())
+
+    def test_failure_propagates_to_followers(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, _ = flight.claim("k")
+            flight.claim("k")
+            flight.resolve("k", False, {"code": "queue_full", "message": "b"})
+            ok, payload = await future
+            assert not ok and payload["code"] == "queue_full"
+
+        run_async(scenario())
+
+    def test_abandon_all(self):
+        async def scenario():
+            flight = SingleFlight()
+            first, _ = flight.claim("a")
+            second, _ = flight.claim("b")
+            assert flight.abandon_all("draining", "shutdown") == 2
+            for future in (first, second):
+                ok, payload = await future
+                assert not ok and payload["code"] == "draining"
+            assert flight.depth == 0
+
+        run_async(scenario())
+
+    def test_concurrent_awaiters_all_wake(self):
+        async def scenario():
+            flight = SingleFlight()
+            future, _ = flight.claim("k")
+
+            async def follower():
+                shared, leads = flight.claim("k")
+                assert not leads
+                return await asyncio.shield(shared)
+
+            tasks = [asyncio.create_task(follower()) for _ in range(5)]
+            await asyncio.sleep(0.01)
+            flight.resolve("k", True, {"n": 7})
+            results = await asyncio.gather(*tasks)
+            assert results == [(True, {"n": 7})] * 5
+
+        run_async(scenario())

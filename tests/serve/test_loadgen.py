@@ -1,0 +1,136 @@
+"""Load-generator campaigns against an in-process server, including the
+fault-injection campaign that kills a worker mid-request."""
+
+import asyncio
+import json
+import os
+import signal
+
+from repro.serve.client import LoadgenConfig, format_loadgen, run_loadgen
+from repro.serve.server import ReproServer, ServerConfig
+from tests.serve.helpers import run_async
+
+
+def loadgen_config(port: int, **kw) -> LoadgenConfig:
+    kw.setdefault("programs", ("dhrystone",))
+    kw.setdefault("concurrency", 4)
+    kw.setdefault("deadline_s", 60.0)
+    kw.setdefault("out", None)
+    return LoadgenConfig(host="127.0.0.1", port=port, **kw)
+
+
+class TestCampaign:
+    def test_warm_cache_campaign_is_clean(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+
+        async def scenario():
+            server = ReproServer(
+                ServerConfig(port=0, workers=2, cache_dir=str(tmp_path / "cache"))
+            )
+            await server.start()
+            try:
+                payload = await run_loadgen(
+                    loadgen_config(server.port, requests=40, out=str(out))
+                )
+            finally:
+                await server.stop()
+            return payload
+
+        payload = run_async(scenario())
+        totals = payload["totals"]
+        assert totals["requests"] == 40
+        assert totals["ok"] == 40
+        assert totals["errors"] == 0 and totals["shed"] == 0
+        # warm-up primed all 4 variants; the campaign itself is cache hits
+        assert payload["warmup"]["distinct_cells"] == 4
+        assert totals["from_cache"] == 40
+        assert totals["rps"] > 0
+        assert payload["latency_ms"]["p50"] <= payload["latency_ms"]["p99"]
+        assert payload["server"]["health"]["status"] == "ok"
+        assert "python" in payload["host"]
+
+        written = json.loads(out.read_text())
+        assert written["totals"]["ok"] == 40
+
+        text = format_loadgen(payload)
+        assert "req/s" in text and "p99" in text
+
+    def test_campaign_without_warmup_executes_cells(self, tmp_path):
+        async def scenario():
+            server = ReproServer(
+                ServerConfig(port=0, workers=2, cache_dir=None)
+            )
+            await server.start()
+            try:
+                payload = await run_loadgen(
+                    loadgen_config(
+                        server.port,
+                        requests=8,
+                        concurrency=2,
+                        warmup=False,
+                    )
+                )
+                executed = server.metrics.registry.get("serve.executed")
+            finally:
+                await server.stop()
+            return payload, executed
+
+        payload, executed = run_async(scenario())
+        totals = payload["totals"]
+        assert totals["ok"] == 8
+        assert totals["errors"] == 0
+        assert totals["from_cache"] == 0
+        # no cache: everything either executed or coalesced onto a leader
+        assert executed + totals["coalesced"] == 8
+
+
+class TestFaultInjection:
+    def test_worker_killed_mid_campaign_server_stays_healthy(self):
+        """A worker SIGKILLed while executing must not fail the campaign:
+        the request retries on a fresh worker and the server keeps serving."""
+
+        async def scenario():
+            server = ReproServer(
+                ServerConfig(port=0, workers=2, cache_dir=None)
+            )
+            await server.start()
+
+            killed = asyncio.Event()
+
+            async def killer():
+                while not killed.is_set():
+                    busy = [
+                        worker
+                        for worker in server.pool.describe()
+                        if worker["busy"]
+                    ]
+                    if busy:
+                        try:
+                            os.kill(busy[0]["pid"], signal.SIGKILL)
+                        except ProcessLookupError:
+                            continue
+                        killed.set()
+                        return
+                    await asyncio.sleep(0.002)
+
+            killer_task = asyncio.create_task(killer())
+            try:
+                payload = await run_loadgen(
+                    loadgen_config(server.port, requests=24, warmup=False)
+                )
+                await asyncio.wait_for(killed.wait(), 10)
+                restarts = server.metrics.registry.get("serve.worker_restarts")
+                health_workers = server.pool.describe()
+            finally:
+                killer_task.cancel()
+                await server.stop()
+            return payload, restarts, health_workers
+
+        payload, restarts, health_workers = run_async(scenario())
+        totals = payload["totals"]
+        assert totals["ok"] == 24, payload["errors_by_code"]
+        assert totals["errors"] == 0
+        assert restarts >= 1
+        assert payload["server"]["health"]["status"] == "ok"
+        # the pool replaced the killed worker and reports it alive
+        assert all(worker["alive"] for worker in health_workers)

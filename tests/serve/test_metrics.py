@@ -1,0 +1,84 @@
+"""Latency histograms and the ServeMetrics façade."""
+
+from repro.diag.metrics import MetricsRegistry
+from repro.serve.metrics import BUCKET_BOUNDS, LatencyHistogram, ServeMetrics
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) == 0.0
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p99_ms"] == 0.0
+
+    def test_single_observation(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.003)
+        assert histogram.count == 1
+        assert histogram.max == 0.003
+        # lands in the (0.0025, 0.005] bucket; quantiles stay inside it
+        for q in (0.5, 0.95, 0.99):
+            assert 0.0 < histogram.quantile(q) <= 0.005
+
+    def test_quantiles_ordered_and_capped_by_max(self):
+        histogram = LatencyHistogram()
+        for index in range(1000):
+            histogram.observe(0.0001 * (index + 1))  # 0.1ms .. 100ms
+        p50 = histogram.quantile(0.50)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert p50 <= p95 <= p99 <= histogram.max
+        # the true p50 is 50ms; bucket interpolation is coarse but sane
+        assert 0.025 <= p50 <= 0.1
+        assert p99 >= 0.05
+
+    def test_overflow_bucket(self):
+        histogram = LatencyHistogram()
+        histogram.observe(99.0)  # beyond the last bound
+        assert histogram.counts[len(BUCKET_BOUNDS)] == 1
+        assert histogram.quantile(0.99) <= histogram.max == 99.0
+
+    def test_mean_in_snapshot(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.010)
+        histogram.observe(0.030)
+        assert abs(histogram.snapshot()["mean_ms"] - 20.0) < 0.001
+
+
+class TestServeMetrics:
+    def test_requests_feed_registry_and_histograms(self):
+        metrics = ServeMetrics()
+        metrics.observe_request("run", 0.01, ok=True)
+        metrics.observe_request("run", 0.02, ok=False)
+        metrics.observe_request("health", 0.001, ok=True)
+        values = metrics.registry.as_dict()
+        assert values["serve.requests"] == 3
+        assert values["serve.requests.run"] == 2
+        assert values["serve.requests.health"] == 1
+        assert values["serve.errors"] == 1
+        assert metrics.latency["run"].count == 2
+
+    def test_error_codes_counted(self):
+        metrics = ServeMetrics()
+        metrics.observe_error("queue_full")
+        metrics.observe_error("queue_full")
+        assert metrics.registry.get("serve.errors.queue_full") == 2
+
+    def test_snapshot_shape(self):
+        metrics = ServeMetrics()
+        metrics.observe_request("suite_cell", 0.005, ok=True)
+        metrics.observe_queue_wait(0.001)
+        metrics.set_gauge("serve.queue_depth", 3)
+        snapshot = metrics.snapshot()
+        assert snapshot["uptime_s"] >= 0
+        assert snapshot["metrics"]["serve.queue_depth"] == 3
+        assert set(snapshot["latency"]) == {"suite_cell"}
+        assert snapshot["queue_wait"]["count"] == 1
+
+    def test_shares_diag_registry_type(self):
+        """Serving metrics speak the same registry the drift gate reads."""
+        registry = MetricsRegistry()
+        metrics = ServeMetrics(registry=registry)
+        metrics.inc("serve.cache_hits")
+        assert registry.get("serve.cache_hits") == 1

@@ -1,0 +1,213 @@
+"""Admission queue: backpressure, priority lanes, deadlines, draining."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.serve.queue import (
+    HIGH_LANE_RESERVE,
+    AdmissionQueue,
+    Draining,
+    QueueFull,
+    Ticket,
+)
+from tests.serve.helpers import run_async
+
+
+def make_ticket(loop=None, priority="normal", deadline=None, tag=None) -> Ticket:
+    future = (loop or asyncio.get_event_loop_policy().get_event_loop()).create_future()
+    return Ticket(
+        job={"tag": tag}, future=future, deadline=deadline, priority=priority
+    )
+
+
+class TestAdmission:
+    def test_fifo_within_lane(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            first = Ticket(job={"n": 1}, future=loop.create_future())
+            second = Ticket(job={"n": 2}, future=loop.create_future())
+            queue.put(first)
+            queue.put(second)
+            assert (await queue.get()) is first
+            assert (await queue.get()) is second
+
+        run_async(scenario())
+
+    def test_queue_full_rejection(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=2)
+            loop = asyncio.get_running_loop()
+            queue.put(Ticket(job={}, future=loop.create_future()))
+            queue.put(Ticket(job={}, future=loop.create_future()))
+            with pytest.raises(QueueFull):
+                queue.put(Ticket(job={}, future=loop.create_future()))
+            assert queue.depth == 2
+
+        run_async(scenario())
+
+    def test_high_lane_bypasses_normal_limit(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=1)
+            loop = asyncio.get_running_loop()
+            queue.put(Ticket(job={}, future=loop.create_future()))
+            # normal lane is full, but health-style traffic still fits
+            high = Ticket(job={}, future=loop.create_future(), priority="high")
+            queue.put(high)
+            assert (await queue.get()) is high
+
+        run_async(scenario())
+
+    def test_high_lane_has_its_own_cap(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=0)
+            loop = asyncio.get_running_loop()
+            for _ in range(HIGH_LANE_RESERVE):
+                queue.put(
+                    Ticket(job={}, future=loop.create_future(), priority="high")
+                )
+            with pytest.raises(QueueFull):
+                queue.put(
+                    Ticket(job={}, future=loop.create_future(), priority="high")
+                )
+
+        run_async(scenario())
+
+    def test_high_dequeued_before_earlier_normal(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            normal = Ticket(job={}, future=loop.create_future())
+            high = Ticket(job={}, future=loop.create_future(), priority="high")
+            queue.put(normal)
+            queue.put(high)
+            assert (await queue.get()) is high
+            assert (await queue.get()) is normal
+
+        run_async(scenario())
+
+    def test_get_waits_for_put(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            ticket = Ticket(job={}, future=loop.create_future())
+
+            async def put_later():
+                await asyncio.sleep(0.02)
+                queue.put(ticket)
+
+            asyncio.create_task(put_later())
+            assert (await asyncio.wait_for(queue.get(), 2.0)) is ticket
+
+        run_async(scenario())
+
+
+class TestDeadlines:
+    def test_expired_ticket_failed_at_dequeue(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            expired = Ticket(
+                job={},
+                future=loop.create_future(),
+                deadline=time.monotonic() - 0.01,
+            )
+            live = Ticket(job={}, future=loop.create_future())
+            queue.put(expired)
+            queue.put(live)
+            assert (await queue.get()) is live
+            ok, payload = await expired.future
+            assert not ok and payload["code"] == "deadline_exceeded"
+
+        run_async(scenario())
+
+    def test_remaining_and_expired(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            ticket = Ticket(
+                job={},
+                future=loop.create_future(),
+                deadline=time.monotonic() + 10,
+            )
+            assert 9 < ticket.remaining() <= 10
+            assert not ticket.expired()
+            unbounded = Ticket(job={}, future=loop.create_future())
+            assert unbounded.remaining() is None
+            assert not unbounded.expired()
+
+        run_async(scenario())
+
+
+class TestDraining:
+    def test_put_after_close_raises(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            queue.close()
+            with pytest.raises(Draining):
+                queue.put(
+                    Ticket(
+                        job={},
+                        future=asyncio.get_running_loop().create_future(),
+                    )
+                )
+
+        run_async(scenario())
+
+    def test_close_drains_backlog_then_returns_none(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            ticket = Ticket(job={}, future=loop.create_future())
+            queue.put(ticket)
+            queue.close()
+            # already-admitted work still comes out...
+            assert (await queue.get()) is ticket
+            # ...then the queue reports drained
+            assert (await queue.get()) is None
+
+        run_async(scenario())
+
+    def test_close_releases_blocked_getter(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.01)
+            queue.close()
+            assert (await asyncio.wait_for(getter, 2.0)) is None
+
+        run_async(scenario())
+
+    def test_fail_pending(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            tickets = [
+                Ticket(job={}, future=loop.create_future()) for _ in range(3)
+            ]
+            for ticket in tickets:
+                queue.put(ticket)
+            assert queue.fail_pending("draining", "bye") == 3
+            assert queue.depth == 0
+            for ticket in tickets:
+                ok, payload = await ticket.future
+                assert not ok and payload["code"] == "draining"
+
+        run_async(scenario())
+
+
+class TestRequeue:
+    def test_requeue_goes_to_front(self):
+        async def scenario():
+            queue = AdmissionQueue(limit=4)
+            loop = asyncio.get_running_loop()
+            first = Ticket(job={"n": 1}, future=loop.create_future())
+            second = Ticket(job={"n": 2}, future=loop.create_future())
+            queue.put(first)
+            queue.put(second)
+            taken = await queue.get()
+            queue.requeue(taken)
+            assert (await queue.get()) is taken
+
+        run_async(scenario())
