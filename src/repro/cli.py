@@ -414,6 +414,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         recycle_after=args.recycle_after,
         cache_dir=None if args.no_cache else args.cache_dir,
         default_max_steps=args.max_steps,
+        trace_sample=args.trace_sample,
+        trace_export=args.trace_export,
+        flight_capacity=args.flight_capacity,
+        artifacts_dir=args.artifacts_dir,
+        drain_timeout_s=args.drain_timeout,
     )
 
     async def main() -> int:
@@ -470,6 +475,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         warmup=not args.no_warmup,
         drain_on_finish=args.drain,
         out=args.out,
+        trace_sample=args.trace_sample,
     )
 
     async def main() -> int:
@@ -482,6 +488,60 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         return 1 if payload["totals"]["errors"] else 0
 
     return asyncio.run(main())
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .trace import group_traces, load_spans, trace_root
+    from .trace.report import (
+        filter_traces,
+        format_critical_path,
+        format_slow,
+        format_top,
+        format_trace_list,
+        format_trace_tree,
+    )
+
+    try:
+        events = load_spans(args.file)
+    except FileNotFoundError:
+        print(f"no span stream at {args.file}", file=sys.stderr)
+        return 2
+    groups = filter_traces(
+        group_traces(events),
+        trace_id=args.trace_id,
+        op=args.op,
+        program=args.program,
+    )
+    if not groups:
+        print("no traces match", file=sys.stderr)
+        return 1
+
+    if args.mode == "show":
+        if args.trace_id is not None and len(groups) == 1:
+            print(format_trace_tree(next(iter(groups.values()))))
+        else:
+            print(format_trace_list(groups, limit=args.limit))
+    elif args.mode == "top":
+        print(
+            format_top(
+                groups, limit=args.limit,
+                name=args.span_name, worker=args.worker,
+            )
+        )
+    elif args.mode == "slow":
+        print(format_slow(groups, limit=args.limit))
+    else:  # critical-path
+        ranked = sorted(
+            groups.values(),
+            key=lambda evts: -(r.seconds if (r := trace_root(evts)) else 0.0),
+        )
+        count = 1 if args.trace_id is not None else args.limit
+        print(
+            "\n\n".join(
+                format_critical_path(events) for events in ranked[:count]
+            )
+        )
+    return 0
 
 
 def cmd_drift(args: argparse.Namespace) -> int:
@@ -714,6 +774,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="don't read or write the result cache")
     p_srv.add_argument("--cache-dir", default=".repro-cache",
                        help="result cache location (default: .repro-cache)")
+    p_srv.add_argument("--trace-sample", type=float, default=0.0,
+                       metavar="RATE",
+                       help="head-sample this fraction of work requests "
+                            "for tracing (0..1, default 0 = only "
+                            "client-requested traces)")
+    p_srv.add_argument("--trace-export", default=None, metavar="FILE",
+                       help="append every exported span to this JSONL "
+                            "stream (read by `repro trace`)")
+    p_srv.add_argument("--flight-capacity", type=int, default=512,
+                       metavar="N",
+                       help="flight-recorder ring size in spans "
+                            "(default 512)")
+    p_srv.add_argument("--artifacts-dir", default="serve-artifacts",
+                       help="crash-bundle directory (default: "
+                            "serve-artifacts)")
+    p_srv.add_argument("--drain-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="hard-stop the pool (and dump the flight "
+                            "recorder) if a drain exceeds this")
     p_srv.set_defaults(func=cmd_serve)
 
     p_lg = add_command(
@@ -742,7 +821,41 @@ def build_parser() -> argparse.ArgumentParser:
                       help="send a drain request after the campaign")
     p_lg.add_argument("--out", default="BENCH_serve.json",
                       help="output path (default: BENCH_serve.json)")
+    p_lg.add_argument("--trace-sample", type=float, default=0.0,
+                      metavar="RATE",
+                      help="request traces for this fraction of the "
+                           "campaign and report per-request latency "
+                           "breakdowns (0..1, default 0)")
     p_lg.set_defaults(func=cmd_loadgen)
+
+    p_tr = add_command(
+        "trace", "inspect an exported span stream (JSONL)"
+    )
+    p_tr.add_argument("mode",
+                      choices=("show", "top", "slow", "critical-path"),
+                      help="show: list traces (or one tree with "
+                           "--trace-id); top: heaviest spans; slow: "
+                           "slowest traces with attribution; "
+                           "critical-path: heaviest chain per trace")
+    p_tr.add_argument("file",
+                      help="span JSONL stream (repro serve --trace-export)")
+    p_tr.add_argument("--trace-id", default=None,
+                      help="select one trace (id prefix)")
+    p_tr.add_argument("--op", default=None,
+                      help="only traces for this request op (run, "
+                           "suite_cell, compile, explain)")
+    p_tr.add_argument("--program", default=None,
+                      help="only traces that ran this workload")
+    p_tr.add_argument("--pass", dest="span_name", default=None,
+                      metavar="NAME",
+                      help="top: only spans with this name (e.g. "
+                           "promotion, interp.run)")
+    p_tr.add_argument("--worker", default=None,
+                      help="top: only spans from this worker "
+                           "(e.g. serve, w0)")
+    p_tr.add_argument("-n", "--limit", type=int, default=10,
+                      help="rows / traces to show (default 10)")
+    p_tr.set_defaults(func=cmd_trace)
 
     p_drift = add_command("drift", "gate suite metrics against a baseline")
     p_drift.add_argument("baseline",

@@ -4,6 +4,12 @@ Every module logger hangs off the ``"repro"`` root (``get_logger(__name__)``
 inside the package already does), so one :func:`setup_logging` call controls
 the whole compiler.  The CLI maps its global flags onto verbosity levels:
 ``-q`` -> errors only, default -> warnings, ``-v`` -> info, ``-vv`` -> debug.
+
+Forked pool workers call :func:`setup_worker_logging` with the verbosity
+the parent captured at spawn (via :func:`current_verbosity`), so ``-v`` /
+``-vv`` / ``-q`` reach worker-side records too; their format prefixes
+each record with the worker id and, while a traced job is running, the
+active trace id (set per-job with :func:`set_log_context`).
 """
 
 from __future__ import annotations
@@ -11,7 +17,13 @@ from __future__ import annotations
 import logging
 import sys
 
-__all__ = ["get_logger", "setup_logging"]
+__all__ = [
+    "current_verbosity",
+    "get_logger",
+    "set_log_context",
+    "setup_logging",
+    "setup_worker_logging",
+]
 
 #: marks handlers installed by :func:`setup_logging` so reruns replace
 #: rather than stack them
@@ -24,12 +36,56 @@ _LEVELS = {
     2: logging.DEBUG,
 }
 
+#: the verbosity of the last :func:`setup_logging` call — what a worker
+#: spawn captures so the global ``-v/-vv/-q`` level survives the fork
+_VERBOSITY = 0
+
+#: record attributes injected by :class:`_ContextFilter`
+_CONTEXT = {"worker": "-", "trace_id": "-"}
+
 
 def get_logger(name: str) -> logging.Logger:
     """The module logger for ``name`` (rooted under ``repro``)."""
     if not name.startswith("repro"):
         name = f"repro.{name}"
     return logging.getLogger(name)
+
+
+def current_verbosity() -> int:
+    """The verbosity most recently passed to :func:`setup_logging`."""
+    return _VERBOSITY
+
+
+def set_log_context(worker: str | None = None, trace_id: str | None = None) -> None:
+    """Attach worker/trace identity to subsequent log records (``"-"`` to
+    clear); only visible through the worker formatter."""
+    if worker is not None:
+        _CONTEXT["worker"] = worker
+    if trace_id is not None:
+        _CONTEXT["trace_id"] = trace_id
+
+
+class _ContextFilter(logging.Filter):
+    """Injects ``record.worker`` / ``record.trace_id`` from the module
+    context so formatters can reference them unconditionally."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.worker = _CONTEXT["worker"]
+        record.trace_id = _CONTEXT["trace_id"]
+        return True
+
+
+def _install_handler(root: logging.Logger, level: int, stream, fmt: str) -> None:
+    for handler in list(root.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    handler.addFilter(_ContextFilter())
+    setattr(handler, _HANDLER_FLAG, True)
+    root.addHandler(handler)
+    root.setLevel(level)
+    root.propagate = False
 
 
 def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
@@ -39,15 +95,38 @@ def setup_logging(verbosity: int = 0, stream=None) -> logging.Logger:
     Idempotent — a second call reconfigures instead of duplicating
     handlers, so tests and long-lived sessions can call it freely.
     """
-    level = _LEVELS[max(-1, min(2, verbosity))]
+    global _VERBOSITY
+    _VERBOSITY = max(-1, min(2, verbosity))
     root = logging.getLogger("repro")
-    for handler in list(root.handlers):
-        if getattr(handler, _HANDLER_FLAG, False):
-            root.removeHandler(handler)
-    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
-    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
-    setattr(handler, _HANDLER_FLAG, True)
-    root.addHandler(handler)
-    root.setLevel(level)
-    root.propagate = False
+    _install_handler(
+        root,
+        _LEVELS[_VERBOSITY],
+        stream,
+        "%(levelname)s %(name)s: %(message)s",
+    )
+    return root
+
+
+def setup_worker_logging(
+    worker_index: int, verbosity: int | None = None, stream=None
+) -> logging.Logger:
+    """Configure logging inside a forked pool worker.
+
+    Re-installs the stream handler (the fork inherited the parent's, but
+    with the parent's format) at the propagated ``verbosity`` and a
+    format that prefixes every record with the worker id and the current
+    trace id — ``WARNING repro.interp [w1 t=3f9c...]: ...`` — so worker
+    records interleaved in the server log stay attributable.
+    """
+    global _VERBOSITY
+    if verbosity is not None:
+        _VERBOSITY = max(-1, min(2, verbosity))
+    set_log_context(worker=f"w{worker_index}", trace_id="-")
+    root = logging.getLogger("repro")
+    _install_handler(
+        root,
+        _LEVELS[_VERBOSITY],
+        stream,
+        "%(levelname)s %(name)s [%(worker)s t=%(trace_id)s]: %(message)s",
+    )
     return root

@@ -27,6 +27,12 @@ from typing import Callable
 
 from ..diag.log import get_logger
 from ..runner.scheduler import run_cells
+from ..trace import (
+    FlightRecorder,
+    flight_recorder,
+    install_flight_recorder,
+    uninstall_flight_recorder,
+)
 from .gen import FuzzProgram, GenOptions, generate_program
 from .oracle import (
     OracleConfig,
@@ -101,61 +107,73 @@ def run_campaign(
     next_seed = options.seed
     stop = False
 
-    while not stop:
-        elapsed = time.perf_counter() - started
-        if elapsed >= options.budget_seconds:
-            break
-        batch_size = options.batch_size
-        if options.max_programs is not None:
-            remaining = options.max_programs - result.programs
-            if remaining <= 0:
+    # last-N program history + recent log records ride along in every
+    # divergence artifact (see _handle_divergence)
+    recorder = install_flight_recorder(FlightRecorder(capacity=256))
+    try:
+        while not stop:
+            elapsed = time.perf_counter() - started
+            if elapsed >= options.budget_seconds:
                 break
-            batch_size = min(batch_size, remaining)
+            batch_size = options.batch_size
+            if options.max_programs is not None:
+                remaining = options.max_programs - result.programs
+                if remaining <= 0:
+                    break
+                batch_size = min(batch_size, remaining)
 
-        batch = [
-            generate_program(next_seed + k, options.gen)
-            for k in range(batch_size)
-        ]
-        next_seed += batch_size
-        specs = [
-            spec
-            for program in batch
-            for spec in build_oracle_specs(
-                program.name, program.source, options.oracle
+            batch = [
+                generate_program(next_seed + k, options.gen)
+                for k in range(batch_size)
+            ]
+            next_seed += batch_size
+            specs = [
+                spec
+                for program in batch
+                for spec in build_oracle_specs(
+                    program.name, program.source, options.oracle
+                )
+            ]
+            # a fresh per-batch compile cache bounds memory while letting each
+            # level's engine pair share one compilation (inline runs only)
+            outcomes = run_cells(
+                specs,
+                jobs=options.jobs,
+                retries=0,
+                compile_cache={} if options.jobs <= 1 else None,
             )
-        ]
-        # a fresh per-batch compile cache bounds memory while letting each
-        # level's engine pair share one compilation (inline runs only)
-        outcomes = run_cells(
-            specs,
-            jobs=options.jobs,
-            retries=0,
-            compile_cache={} if options.jobs <= 1 else None,
-        )
 
-        for program in batch:
-            cell_outcomes = {
-                variant: outcome
-                for (workload, variant), outcome in outcomes.items()
-                if workload == program.name
-            }
-            report = classify_outcomes(program, cell_outcomes)
-            result.programs += 1
-            result.last_seed = program.seed
-            if report.status == "ok":
-                result.ok += 1
-            elif report.status == "trap":
-                result.traps += 1
-            else:
-                result.divergent += 1
-                result.divergence_reports.append(report)
-                _handle_divergence(report, options, result)
-                if not options.keep_going:
-                    stop = True
-            if progress is not None:
-                progress(report)
-            if stop:
-                break
+            for program in batch:
+                cell_outcomes = {
+                    variant: outcome
+                    for (workload, variant), outcome in outcomes.items()
+                    if workload == program.name
+                }
+                report = classify_outcomes(program, cell_outcomes)
+                recorder.record_event(
+                    "fuzz.program",
+                    program=program.name,
+                    seed=program.seed,
+                    status=report.status,
+                )
+                result.programs += 1
+                result.last_seed = program.seed
+                if report.status == "ok":
+                    result.ok += 1
+                elif report.status == "trap":
+                    result.traps += 1
+                else:
+                    result.divergent += 1
+                    result.divergence_reports.append(report)
+                    _handle_divergence(report, options, result)
+                    if not options.keep_going:
+                        stop = True
+                if progress is not None:
+                    progress(report)
+                if stop:
+                    break
+    finally:
+        uninstall_flight_recorder()
 
     result.seconds = time.perf_counter() - started
     return result
@@ -189,6 +207,18 @@ def _handle_divergence(
     artifact = write_divergence_artifact(
         report, options.artifacts_dir, reduced_source=reduced
     )
+    recorder = flight_recorder()
+    if recorder is not None:
+        # recent program history + log records, inside the artifact dir
+        recorder.dump(
+            artifact,
+            "fuzz_divergence",
+            meta={
+                "program": report.program.name,
+                "seed": report.program.seed,
+                "kinds": [d.kind for d in report.divergences],
+            },
+        )
     result.artifact_dirs.append(artifact)
     if reduced is not None:
         result.reduced_sources[report.program.name] = reduced

@@ -214,9 +214,27 @@ def invalidate_decoded(module: Module) -> None:
 
 # -- execution ---------------------------------------------------------------
 def exec_entry(machine: Machine, func: Function) -> int | float | None:
-    """Run ``func`` on ``machine`` under the block-threaded engine."""
-    dm = get_decoded(machine.module, machine.mem)
-    return exec_function(machine, dm.functions[func.name], ())
+    """Run ``func`` on ``machine`` under the block-threaded engine.
+
+    When a trace is active the decode and run phases get their own spans
+    (``interp.decode`` notes whether the decode cache hit); when tracing
+    is off this takes the original untraced path — the engine hot loop
+    itself is never instrumented.
+    """
+    from ..trace import current_trace
+
+    trace = current_trace()
+    if trace is None:
+        dm = get_decoded(machine.module, machine.mem)
+        return exec_function(machine, dm.functions[func.name], ())
+    cached = getattr(machine.module, "_decoded", None)
+    with trace.span("interp.decode") as decode_extra:
+        dm = get_decoded(machine.module, machine.mem)
+        decode_extra["cached"] = dm is cached
+    with trace.span("interp.run", function=func.name) as run_extra:
+        result = exec_function(machine, dm.functions[func.name], ())
+        run_extra["total_ops"] = machine.counters.total_ops
+    return result
 
 
 def exec_function(

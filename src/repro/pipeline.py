@@ -24,6 +24,7 @@ cleaning pass."
 from __future__ import annotations
 
 import enum
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 
 from .analysis.modref import ModRefResult, run_modref
@@ -45,10 +46,24 @@ from .opt.pre import run_pre_module
 from .opt.promotion import PromotionOptions, PromotionReport, promote_module
 from .opt.valuenum import run_value_numbering_module
 from .regalloc import RegAllocOptions, RegAllocReport, allocate_module
-from .runner.telemetry import span
+from .diag.ledger import current_ledger
+from .trace import span
 
 
 _log = get_logger(__name__)
+
+
+@contextmanager
+def _pass_span(name: str, module=None, **args: object):
+    """A pipeline-pass span, tagged with how many decision-ledger rows
+    the pass recorded (only while a ledger is active, so cached cell
+    payloads from plain suite runs are unchanged)."""
+    ledger = current_ledger()
+    before = len(ledger.decisions) if ledger is not None else None
+    with span(name, module, **args) as extra:
+        yield
+        if extra is not None and ledger is not None:
+            extra["decisions"] = len(ledger.decisions) - before
 
 
 class Analysis(enum.Enum):
@@ -114,18 +129,18 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
         module.name, options.analysis.value, options.promotion,
     )
     if options.analysis is Analysis.MODREF:
-        with span("modref", module):
+        with _pass_span("modref", module):
             result.modref = run_modref(module)
             refined = refine_memory_ops(module, result.modref.sccs)
     elif options.analysis is Analysis.POINTER:
         # the paper's sequencing: MOD/REF to seed, points-to to sharpen
         # pointer-op tag sets, MOD/REF repeated on the sharper sets
-        with span("modref", module):
+        with _pass_span("modref", module):
             first = run_modref(module)
-        with span("points_to", module):
+        with _pass_span("points_to", module):
             points = run_points_to(module)
             apply_points_to(module, points, first.visible)
-        with span("modref", module):
+        with _pass_span("modref", module):
             result.modref = run_modref(module)
             refined = refine_memory_ops(module, result.modref.sccs)
     else:
@@ -139,19 +154,19 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
 
     # -- early scalar optimizations ------------------------------------------
     if options.clean:
-        with span("clean", module):
+        with _pass_span("clean", module):
             clean_module(module)
     if options.value_numbering:
-        with span("value_numbering", module):
+        with _pass_span("value_numbering", module):
             run_value_numbering_module(module)
     if options.constant_propagation:
-        with span("sccp", module):
+        with _pass_span("sccp", module):
             run_sccp_module(module)
     checkpoint()
 
     # -- register promotion (early, per section 3) ----------------------------
     if options.promotion:
-        with span("promotion", module):
+        with _pass_span("promotion", module):
             result.promotion_reports = promote_module(
                 module, options.promotion_options
             )
@@ -181,13 +196,13 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
 
     # -- loop and straight-line redundancy removal ---------------------------
     if options.licm:
-        with span("licm", module):
+        with _pass_span("licm", module):
             licm_stats = run_licm_module(module)
         inc_metric("licm.hoisted", licm_stats.hoisted)
         inc_metric("licm.loads_hoisted", licm_stats.loads_hoisted)
         checkpoint()
     if options.pointer_promotion:
-        with span("pointer_promotion", module):
+        with _pass_span("pointer_promotion", module):
             result.pointer_promotion_reports = promote_pointers_module(module)
         set_gauge(
             "pointer_promotion.promoted_bases",
@@ -198,31 +213,31 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
         )
         checkpoint()
     if options.pre:
-        with span("pre", module):
+        with _pass_span("pre", module):
             pre_stats = run_pre_module(module)
         inc_metric("pre.expressions_removed", pre_stats.expressions_removed)
         inc_metric("pre.loads_removed", pre_stats.loads_removed)
     if options.value_numbering:
-        with span("value_numbering", module):
+        with _pass_span("value_numbering", module):
             vn_stats = run_value_numbering_module(module)
         inc_metric("valuenum.loads_removed", vn_stats.loads_removed)
     if options.dce:
-        with span("dce", module):
+        with _pass_span("dce", module):
             run_dce_module(module)
     if options.clean:
-        with span("clean", module):
+        with _pass_span("clean", module):
             clean_module(module)
     checkpoint()
 
     # -- register allocation ---------------------------------------------------
     if options.run_regalloc:
-        with span("regalloc", module):
+        with _pass_span("regalloc", module):
             result.regalloc_reports = allocate_module(module, options.regalloc)
             if options.dce:
                 run_dce_module(module)
             if options.clean:
                 clean_module(module)
-    with span("verify", module):
+    with _pass_span("verify", module):
         verify_module(module)
     return result
 

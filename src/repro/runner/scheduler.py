@@ -32,6 +32,7 @@ bounds how long it can linger.  Inline execution cannot be preempted, so
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
@@ -50,6 +51,7 @@ from ..pipeline import (
     compile_source,
     run_compiled,
 )
+from ..trace import TraceContext
 from . import telemetry
 from .cache import ResultCache, cell_key
 
@@ -156,6 +158,8 @@ def execute_cell(
     collect_trace: bool = False,
     keep_compile_result: bool = False,
     compile_cache: dict[str, CompileResult] | None = None,
+    trace_ctx: TraceContext | None = None,
+    trace_worker: str | None = None,
 ) -> CellData:
     """Compile and run one cell (runs in the worker process).
 
@@ -168,12 +172,36 @@ def execute_cell(
     fuzz oracle's engine pairs — share one compilation.  Running never
     mutates the compiled module, so reuse is sound; the compile-time
     metrics land only in the first sharing cell's snapshot.
+
+    ``trace_ctx`` joins this cell to a distributed trace: spans are
+    stamped with the context's trace id, parented under its
+    ``parent_id``, and returned in ``trace_events`` (with identity and
+    wall-clock fields) for the requesting process to adopt.  It implies
+    ``collect_trace``.
     """
     started = time.perf_counter()
     with metrics_session() as registry:
-        if collect_trace:
-            with telemetry.tracing(f"{spec.workload}:{spec.variant}") as trace:
-                cell = _compile_and_run(spec, compile_cache)
+        if collect_trace or trace_ctx is not None:
+            with telemetry.tracing(
+                f"{spec.workload}:{spec.variant}",
+                context=trace_ctx,
+                worker=(
+                    trace_worker or f"pid{os.getpid()}"
+                    if trace_ctx is not None
+                    else None
+                ),
+            ) as trace:
+                if trace_ctx is not None:
+                    # a live ledger is what makes _pass_span tag each
+                    # pass with its decision count in exported spans;
+                    # plain --trace runs skip it to keep that output
+                    # byte-identical with the pre-tracing format
+                    from ..diag.ledger import decision_ledger
+
+                    with decision_ledger():
+                        cell = _compile_and_run(spec, compile_cache)
+                else:
+                    cell = _compile_and_run(spec, compile_cache)
             events = [event.as_dict() for event in trace.events]
         else:
             cell = _compile_and_run(spec, compile_cache)

@@ -1,29 +1,33 @@
-"""Lightweight tracing for the experiment runner.
+"""Compatibility shim — the tracing layer moved to :mod:`repro.trace`.
 
-A :class:`Trace` records nested, wall-clock :func:`span`\\ s — one per
-compiler pass, plus ``parse`` and ``execute`` — together with the static
-operation count of the module before and after each pass, so a trace shows
-both where the time goes and which pass removes which operations.
-
-The layer is designed to cost nothing when disabled: :func:`span` checks a
-module-level current trace and yields immediately when none is installed,
-so the pipeline can be instrumented unconditionally.  Traces export in two
-forms: the Chrome trace-event format (``chrome://tracing`` /
-https://ui.perfetto.dev) via :func:`chrome_trace`, and a human summary
-table via :func:`format_span_summary`.
+This module originally held the runner's span telemetry.  It grew into
+the end-to-end tracing layer (trace context propagation across the serve
+pool's fork boundary, flight recorder, JSONL export) and now lives in
+the :mod:`repro.trace` package; everything importable from here is
+re-exported unchanged so existing callers and cached payloads keep
+working.  New code should import from ``repro.trace`` directly.
 """
 
 from __future__ import annotations
 
-import json
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Iterator
+from ..trace import (  # noqa: F401
+    SpanEvent,
+    Trace,
+    TraceContext,
+    chrome_trace,
+    current_trace,
+    format_span_summary,
+    module_op_breakdown,
+    module_op_count,
+    span,
+    tracing,
+    write_chrome_trace,
+)
 
 __all__ = [
     "SpanEvent",
     "Trace",
+    "TraceContext",
     "chrome_trace",
     "current_trace",
     "format_span_summary",
@@ -31,249 +35,5 @@ __all__ = [
     "module_op_count",
     "span",
     "tracing",
+    "write_chrome_trace",
 ]
-
-
-@dataclass
-class SpanEvent:
-    """One completed span.
-
-    ``start`` is seconds since the owning trace began; ``seconds`` is the
-    inclusive duration and ``self_seconds`` excludes time spent in child
-    spans, so summing ``self_seconds`` over a trace never double-counts.
-    """
-
-    name: str
-    start: float
-    seconds: float
-    depth: int
-    self_seconds: float
-    args: dict[str, object] = field(default_factory=dict)
-
-    def as_dict(self) -> dict[str, object]:
-        return {
-            "name": self.name,
-            "start": self.start,
-            "seconds": self.seconds,
-            "depth": self.depth,
-            "self_seconds": self.self_seconds,
-            "args": dict(self.args),
-        }
-
-    @classmethod
-    def from_dict(cls, data: dict[str, object]) -> "SpanEvent":
-        return cls(
-            name=str(data["name"]),
-            start=float(data["start"]),  # type: ignore[arg-type]
-            seconds=float(data["seconds"]),  # type: ignore[arg-type]
-            depth=int(data["depth"]),  # type: ignore[arg-type]
-            self_seconds=float(data["self_seconds"]),  # type: ignore[arg-type]
-            args=dict(data.get("args", {})),  # type: ignore[arg-type]
-        )
-
-
-def module_op_count(module) -> int:
-    """Static instruction count — the per-pass size metric."""
-    return sum(
-        1 for function in module.functions.values() for _ in function.instructions()
-    )
-
-
-def module_op_breakdown(module) -> dict[str, int]:
-    """Static instruction counts bucketed by opcode class.
-
-    Buckets: ``loads`` (sload/cload/load), ``stores`` (sstore/store),
-    ``copies`` (mov), ``calls``, ``branches`` (br/cbr/ret), ``other``
-    (arithmetic, address computation, phi...).  ``nop`` placeholders are
-    excluded — they are dead weight the clean pass erases, not work.
-    """
-    from ..ir.instructions import (
-        Branch,
-        Call,
-        CLoad,
-        MemLoad,
-        MemStore,
-        Mov,
-        Nop,
-        Ret,
-        ScalarLoad,
-        ScalarStore,
-    )
-
-    counts = {
-        "loads": 0, "stores": 0, "copies": 0,
-        "calls": 0, "branches": 0, "other": 0,
-    }
-    for function in module.functions.values():
-        for instr in function.instructions():
-            if isinstance(instr, (ScalarLoad, CLoad, MemLoad)):
-                counts["loads"] += 1
-            elif isinstance(instr, (ScalarStore, MemStore)):
-                counts["stores"] += 1
-            elif isinstance(instr, Mov):
-                counts["copies"] += 1
-            elif isinstance(instr, Call):
-                counts["calls"] += 1
-            elif isinstance(instr, (Branch, Ret)):
-                counts["branches"] += 1
-            elif not isinstance(instr, Nop):
-                counts["other"] += 1
-    return counts
-
-
-class Trace:
-    """An ordered collection of spans from one traced activity."""
-
-    def __init__(self, name: str = "trace") -> None:
-        self.name = name
-        self.epoch = time.perf_counter()
-        self.events: list[SpanEvent] = []
-        # one child-time accumulator per open span, plus a root slot
-        self._child_time: list[float] = [0.0]
-
-    @contextmanager
-    def span(self, name: str, module=None, **args: object) -> Iterator[None]:
-        depth = len(self._child_time) - 1
-        self._child_time.append(0.0)
-        ops_before = module_op_count(module) if module is not None else None
-        classes_before = module_op_breakdown(module) if module is not None else None
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            seconds = time.perf_counter() - start
-            child_time = self._child_time.pop()
-            self._child_time[-1] += seconds
-            event_args: dict[str, object] = dict(args)
-            if ops_before is not None:
-                ops_after = module_op_count(module)
-                event_args["ops_before"] = ops_before
-                event_args["ops_after"] = ops_after
-                event_args["ops_delta"] = ops_after - ops_before
-            if classes_before is not None:
-                classes_after = module_op_breakdown(module)
-                class_delta = {
-                    cls: classes_after[cls] - classes_before[cls]
-                    for cls in classes_after
-                    if classes_after[cls] != classes_before[cls]
-                }
-                if class_delta:
-                    event_args["ops_by_class_delta"] = class_delta
-            self.events.append(
-                SpanEvent(
-                    name=name,
-                    start=start - self.epoch,
-                    seconds=seconds,
-                    depth=depth,
-                    self_seconds=max(0.0, seconds - child_time),
-                    args=event_args,
-                )
-            )
-
-    def total_seconds(self) -> float:
-        return sum(e.seconds for e in self.events if e.depth == 0)
-
-
-_CURRENT: Trace | None = None
-
-
-def current_trace() -> Trace | None:
-    return _CURRENT
-
-
-@contextmanager
-def tracing(name: str = "trace") -> Iterator[Trace]:
-    """Install a fresh trace as the current one for the duration."""
-    global _CURRENT
-    previous = _CURRENT
-    trace = Trace(name)
-    _CURRENT = trace
-    try:
-        yield trace
-    finally:
-        _CURRENT = previous
-
-
-@contextmanager
-def span(name: str, module=None, **args: object) -> Iterator[None]:
-    """Record a span on the current trace; free no-op when tracing is off."""
-    trace = _CURRENT
-    if trace is None:
-        yield
-        return
-    with trace.span(name, module=module, **args):
-        yield
-
-
-# -- export ----------------------------------------------------------------
-
-
-def chrome_trace(groups: dict[str, list[SpanEvent]]) -> dict:
-    """Convert span groups (label -> events) to the Chrome trace-event
-    format: one synthetic thread per group, complete (``ph: X``) events in
-    microseconds."""
-    trace_events: list[dict] = []
-    for tid, (label, events) in enumerate(sorted(groups.items())):
-        trace_events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 0,
-                "tid": tid,
-                "args": {"name": label},
-            }
-        )
-        for event in events:
-            trace_events.append(
-                {
-                    "name": event.name,
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": tid,
-                    "ts": round(event.start * 1e6, 3),
-                    "dur": round(event.seconds * 1e6, 3),
-                    "args": dict(event.args),
-                }
-            )
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
-
-
-def write_chrome_trace(path, groups: dict[str, list[SpanEvent]]) -> None:
-    from pathlib import Path
-
-    Path(path).write_text(json.dumps(chrome_trace(groups), indent=1) + "\n")
-
-
-def format_span_summary(groups: dict[str, list[SpanEvent]]) -> str:
-    """Aggregate spans by name across all groups: calls, self time, the net
-    static operations removed (``-ops_delta`` summed), and the load subset
-    of that (from ``ops_by_class_delta``)."""
-    totals: dict[str, dict[str, float]] = {}
-    for events in groups.values():
-        for event in events:
-            entry = totals.setdefault(
-                event.name, {"calls": 0, "self": 0.0, "removed": 0, "loads": 0}
-            )
-            entry["calls"] += 1
-            entry["self"] += event.self_seconds
-            delta = event.args.get("ops_delta")
-            if isinstance(delta, int):
-                entry["removed"] -= delta
-            by_class = event.args.get("ops_by_class_delta")
-            if isinstance(by_class, dict):
-                loads_delta = by_class.get("loads")
-                if isinstance(loads_delta, int):
-                    entry["loads"] -= loads_delta
-    grand_self = sum(entry["self"] for entry in totals.values()) or 1.0
-    header = (
-        f"{'span':<20} {'calls':>6} {'self (s)':>10} {'% self':>8} "
-        f"{'ops removed':>12} {'loads removed':>14}"
-    )
-    lines = [header, "-" * len(header)]
-    for name, entry in sorted(totals.items(), key=lambda kv: -kv[1]["self"]):
-        lines.append(
-            f"{name:<20} {int(entry['calls']):>6} {entry['self']:>10.3f} "
-            f"{100.0 * entry['self'] / grand_self:>8.1f} "
-            f"{int(entry['removed']):>12} {int(entry['loads']):>14}"
-        )
-    return "\n".join(lines)

@@ -92,8 +92,14 @@ class ServeClient:
         *,
         deadline_s: float | None = None,
         priority: str | None = None,
+        trace: bool = False,
     ) -> dict:
-        """Send one request, await its response frame (the full dict)."""
+        """Send one request, await its response frame (the full dict).
+
+        ``trace=True`` asks the server for a sampled trace: the result
+        carries ``trace.trace_id`` and ``trace.spans`` (see
+        :mod:`repro.trace`).
+        """
         request_id = next(self._ids)
         frame: dict = {"id": request_id, "op": op}
         if params:
@@ -102,6 +108,8 @@ class ServeClient:
             frame["deadline_s"] = deadline_s
         if priority is not None:
             frame["priority"] = priority
+        if trace:
+            frame["trace"] = True
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         async with self._write_lock:
@@ -116,10 +124,11 @@ class ServeClient:
         *,
         deadline_s: float | None = None,
         priority: str | None = None,
+        trace: bool = False,
     ) -> dict:
         """Like :meth:`request` but unwraps: result dict or ServeError."""
         response = await self.request(
-            op, params, deadline_s=deadline_s, priority=priority
+            op, params, deadline_s=deadline_s, priority=priority, trace=trace
         )
         if not response.get("ok"):
             error = response.get("error", {})
@@ -207,6 +216,9 @@ class LoadgenConfig:
     warmup: bool = True
     #: send ``drain`` once the campaign finishes (CI teardown)
     drain_on_finish: bool = False
+    #: fraction of campaign requests sent with ``trace: true``; their
+    #: returned spans feed the per-request latency breakdown
+    trace_sample: float = 0.0
     out: str | None = "BENCH_serve.json"
 
 
@@ -219,6 +231,8 @@ class _Tally:
     from_cache: int = 0
     coalesced: int = 0
     by_code: dict[str, int] = field(default_factory=dict)
+    #: one attribution dict per sampled request (see repro.trace)
+    breakdowns: list[dict] = field(default_factory=list)
 
 
 def _mix(config: LoadgenConfig) -> list[dict]:
@@ -242,6 +256,38 @@ def _percentile(sorted_values: list[float], q: float) -> float:
     return sorted_values[index]
 
 
+def _request_breakdown(span_dicts: list[dict]) -> dict:
+    """Attribution buckets for one sampled request's returned spans."""
+    from ..trace import SpanEvent, attribution
+
+    return attribution([SpanEvent.from_dict(d) for d in span_dicts])
+
+
+_BREAKDOWN_BUCKETS = ("queue", "cache", "coalesce", "compile", "execute", "other")
+
+
+def _breakdown_summary(breakdowns: list[dict]) -> dict:
+    """Percentiles over per-request attribution: where sampled requests
+    spent their time (milliseconds), plus trace-coverage health."""
+    summary: dict = {"sampled": len(breakdowns)}
+    if not breakdowns:
+        return summary
+    for bucket in _BREAKDOWN_BUCKETS:
+        ordered = sorted(b.get(bucket, 0.0) * 1000 for b in breakdowns)
+        summary[f"{bucket}_ms"] = {
+            "p50": round(_percentile(ordered, 0.50), 3),
+            "p95": round(_percentile(ordered, 0.95), 3),
+            "p99": round(_percentile(ordered, 0.99), 3),
+            "mean": round(sum(ordered) / len(ordered), 3),
+        }
+    coverages = [b.get("coverage", 0.0) for b in breakdowns]
+    summary["coverage"] = {
+        "min": round(min(coverages), 4),
+        "mean": round(sum(coverages) / len(coverages), 4),
+    }
+    return summary
+
+
 async def _campaign_worker(
     config: LoadgenConfig,
     mix: list[dict],
@@ -259,10 +305,19 @@ async def _campaign_worker(
             elif time.perf_counter() >= stop_at:
                 break
             params = mix[index % len(mix)]
+            # deterministic head sampling over the request index, so a
+            # campaign samples evenly regardless of worker interleaving
+            want_trace = (
+                config.trace_sample > 0
+                and (index * config.trace_sample) % 1.0 < config.trace_sample
+            )
             started = time.perf_counter()
             try:
                 response = await client.request(
-                    config.op, params, deadline_s=config.deadline_s
+                    config.op,
+                    params,
+                    deadline_s=config.deadline_s,
+                    trace=want_trace,
                 )
             except ConnectionError:
                 tally.errors += 1
@@ -278,6 +333,9 @@ async def _campaign_worker(
                     tally.from_cache += 1
                 if result.get("coalesced"):
                     tally.coalesced += 1
+                spans = result.get("trace", {}).get("spans")
+                if spans:
+                    tally.breakdowns.append(_request_breakdown(spans))
             else:
                 code = response.get("error", {}).get("code", "internal")
                 tally.by_code[code] = tally.by_code.get(code, 0) + 1
@@ -355,6 +413,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             "max_steps": config.max_steps,
             "deadline_s": config.deadline_s,
             "warmup": config.warmup,
+            "trace_sample": config.trace_sample,
         },
         "warmup": {"distinct_cells": len(mix), "seconds": round(warmup_s, 3)},
         "totals": {
@@ -377,6 +436,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             else 0.0,
             "max": round(ordered[-1] * 1000, 3) if ordered else 0.0,
         },
+        "per_request_breakdown": _breakdown_summary(tally.breakdowns),
         "server": {"metrics": server_metrics, "health": server_health},
     }
     if config.out:
@@ -412,5 +472,17 @@ def format_loadgen(payload: dict) -> str:
         lines.append(
             f"  warm-up: {warmup['distinct_cells']} distinct cell(s) in "
             f"{warmup['seconds']:.2f}s"
+        )
+    breakdown = payload.get("per_request_breakdown", {})
+    if breakdown.get("sampled"):
+        parts = "  ".join(
+            f"{bucket} {breakdown[f'{bucket}_ms']['p50']:.2f}"
+            for bucket in _BREAKDOWN_BUCKETS
+            if f"{bucket}_ms" in breakdown
+        )
+        lines.append(
+            f"  traced {breakdown['sampled']} request(s), p50 ms by stage: "
+            f"{parts}  (coverage mean "
+            f"{breakdown['coverage']['mean']:.0%})"
         )
     return "\n".join(lines)

@@ -38,12 +38,13 @@ in-flight ticket, shut their worker down gracefully, and exit.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import multiprocessing
 import signal
 import time
 import traceback
 
-from ..diag.log import get_logger
+from ..diag.log import current_verbosity, get_logger, set_log_context
 from .metrics import ServeMetrics
 from .queue import AdmissionQueue, Ticket
 
@@ -64,34 +65,69 @@ _JOIN_TIMEOUT = 5.0
 # child side
 
 
-def _handle_job(job: dict, compile_cache: dict) -> dict:
-    """Execute one job inside the worker process."""
+@contextlib.contextmanager
+def _maybe_tracing(name: str, trace_ctx, worker_label: str):
+    """Trace the job only when the requester sent a context — untraced
+    requests keep the original zero-instrumentation path."""
+    if trace_ctx is None:
+        yield None
+        return
+    from ..trace import tracing
+
+    with tracing(name, context=trace_ctx, worker=worker_label) as trace:
+        yield trace
+
+
+def _handle_job(job: dict, compile_cache: dict, worker_index: int = 0) -> dict:
+    """Execute one job inside the worker process.
+
+    A ``trace_ctx`` dict in the job joins this execution to the
+    requesting side's trace: spans recorded here carry its trace id, are
+    parented under the parent's dispatch span, and travel back in the
+    reply as ``trace_spans`` for the server to adopt.
+    """
     kind = job["kind"]
+    ctx_data = job.get("trace_ctx")
+    trace_ctx = None
+    if ctx_data is not None:
+        from ..trace import TraceContext
+
+        trace_ctx = TraceContext.from_dict(ctx_data)
+    worker_label = f"w{worker_index}"
     if kind == "cell":
         from ..runner.scheduler import execute_cell
 
         spec = job["spec"]
-        cell = execute_cell(spec, compile_cache=compile_cache)
-        return {
+        cell = execute_cell(
+            spec,
+            compile_cache=compile_cache,
+            trace_ctx=trace_ctx,
+            trace_worker=worker_label,
+        )
+        result = {
             "workload": cell.workload,
             "variant": cell.variant,
             "cell": cell.cache_payload(),
         }
+        if trace_ctx is not None:
+            result["trace_spans"] = cell.trace_events
+        return result
     if kind == "compile":
         from ..ir.printer import format_module
         from ..pipeline import compile_source
 
-        compiled = compile_source(
-            job["source"],
-            job["options"],
-            name=job.get("name", "request"),
-            defines=job.get("defines") or None,
-        )
+        with _maybe_tracing("compile", trace_ctx, worker_label) as trace:
+            compiled = compile_source(
+                job["source"],
+                job["options"],
+                name=job.get("name", "request"),
+                defines=job.get("defines") or None,
+            )
         reports = list(compiled.promotion_reports.values())
         tags = (
             set().union(*(r.promoted_tags for r in reports)) if reports else set()
         )
-        return {
+        result = {
             "variant": job["options"].variant_name(),
             "il": format_module(compiled.module),
             "promotion": {
@@ -103,31 +139,50 @@ def _handle_job(job: dict, compile_cache: dict) -> dict:
                 "stores_inserted": sum(r.stores_inserted for r in reports),
             },
         }
+        if trace_ctx is not None:
+            result["trace_spans"] = [e.as_dict() for e in trace.events]
+        return result
     if kind == "explain":
         from ..diag.ledger import decision_ledger
         from ..pipeline import compile_source
 
-        with decision_ledger() as ledger:
-            compile_source(
-                job["source"],
-                job["options"],
-                name=job.get("name", "request"),
-                defines=job.get("defines") or None,
-            )
+        with _maybe_tracing("explain", trace_ctx, worker_label) as trace:
+            with decision_ledger() as ledger:
+                compile_source(
+                    job["source"],
+                    job["options"],
+                    name=job.get("name", "request"),
+                    defines=job.get("defines") or None,
+                )
         filters = job.get("filters") or {}
         decisions = ledger.query(**filters)
-        return {
+        result = {
             "count": len(decisions),
             "decisions": [decision.as_dict() for decision in decisions],
         }
+        if trace_ctx is not None:
+            result["trace_spans"] = [e.as_dict() for e in trace.events]
+        return result
     raise ValueError(f"unknown job kind {kind!r}")
 
 
-def worker_main(conn) -> None:
-    """Child entry point: serve jobs from the pipe until told to stop."""
+def worker_main(conn, worker_index: int = 0, verbosity: int | None = None) -> None:
+    """Child entry point: serve jobs from the pipe until told to stop.
+
+    ``verbosity`` is the parent's global ``-v/-vv/-q`` level at spawn
+    time; worker records are re-formatted with the worker id and the
+    trace id of the job in flight (``-`` when untraced).
+    """
     # the server handles SIGINT/SIGTERM itself and drains; a stray
     # terminal Ctrl-C must not take the workers down mid-cell
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    from ..diag.log import setup_worker_logging
+
+    setup_worker_logging(worker_index, verbosity)
+    # pre-import the execution stack while the worker is still idle so
+    # the first job it handles (and its trace) doesn't pay module load
+    from ..runner import scheduler  # noqa: F401
+
     compile_cache: dict = {}
     while True:
         try:
@@ -136,8 +191,10 @@ def worker_main(conn) -> None:
             break
         if job is None:  # graceful shutdown / recycle sentinel
             break
+        ctx = job.get("trace_ctx") if isinstance(job, dict) else None
+        set_log_context(trace_id=ctx["trace_id"] if ctx else "-")
         try:
-            result = _handle_job(job, compile_cache)
+            result = _handle_job(job, compile_cache, worker_index)
             reply = {"ok": True, "result": result}
         except Exception as error:
             from ..errors import ReproError
@@ -174,11 +231,15 @@ def _consume_exception(future) -> None:
 class _WorkerHandle:
     """One child process plus its parent-side pipe end."""
 
-    def __init__(self, ctx) -> None:
+    def __init__(self, ctx, index: int = 0) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
+        # capture the parent's -v/-vv/-q level at spawn so the child
+        # re-applies it after the fork
         self.process = ctx.Process(
-            target=worker_main, args=(child_conn,), daemon=True
+            target=worker_main,
+            args=(child_conn, index, current_verbosity()),
+            daemon=True,
         )
         self.process.start()
         child_conn.close()
@@ -248,7 +309,7 @@ class WorkerPool:
 
     async def start(self) -> None:
         self.slots = [
-            _Slot(index, _WorkerHandle(self.ctx)) for index in range(self.size)
+            _Slot(index, _WorkerHandle(self.ctx, index)) for index in range(self.size)
         ]
         self._drivers = [
             asyncio.create_task(self._drive(slot), name=f"serve-worker-{slot.index}")
@@ -302,9 +363,15 @@ class WorkerPool:
                     break
                 slot.busy = True
                 self._update_gauges()
-                self.metrics.observe_queue_wait(
-                    time.monotonic() - ticket.enqueued_at
-                )
+                queue_wait = time.monotonic() - ticket.enqueued_at
+                self.metrics.observe_queue_wait(queue_wait)
+                if ticket.trace is not None:
+                    ticket.trace.add_event(
+                        "queue_wait",
+                        start_perf=ticket.enqueued_perf,
+                        seconds=queue_wait,
+                        priority=ticket.priority,
+                    )
                 try:
                     await self._execute(slot, ticket)
                 finally:
@@ -324,8 +391,35 @@ class WorkerPool:
         loop = asyncio.get_running_loop()
         while True:
             worker = slot.worker
+            job = ticket.job
+            dispatch_id = None
+            dispatch_start = time.perf_counter()
+            if ticket.trace is not None:
+                # the dispatch span id is minted *before* the send so the
+                # worker can parent its spans under it; the span itself is
+                # recorded retroactively once the reply (or failure) lands
+                dispatch_id = ticket.trace.new_span_id()
+                job = dict(job)
+                job["trace_ctx"] = {
+                    "trace_id": ticket.trace.context.trace_id,
+                    "parent_id": dispatch_id,
+                }
+
+            def record_dispatch(**args: object) -> None:
+                if ticket.trace is not None:
+                    ticket.trace.add_event(
+                        "dispatch",
+                        start_perf=dispatch_start,
+                        seconds=time.perf_counter() - dispatch_start,
+                        span_id=dispatch_id,
+                        worker=slot.index,
+                        pid=worker.pid,
+                        attempt=ticket.attempts,
+                        **args,
+                    )
+
             try:
-                worker.conn.send(ticket.job)
+                worker.conn.send(job)
             except (BrokenPipeError, OSError):
                 # died while idle: not an execution attempt, just respawn
                 self._replace(slot, reason="idle_crash")
@@ -341,6 +435,7 @@ class WorkerPool:
                 # deadline fired mid-cell: kill the worker (don't leak it,
                 # don't let the cell burn CPU to its max_steps fuel)
                 self._replace(slot, reason="deadline_kill")
+                record_dispatch(outcome="deadline_kill")
                 ticket.fail(
                     "deadline_exceeded",
                     f"deadline fired mid-cell after attempt {ticket.attempts}; "
@@ -349,6 +444,7 @@ class WorkerPool:
                 return
             except (EOFError, OSError, BrokenPipeError):
                 self._replace(slot, reason="crash")
+                record_dispatch(outcome="crash")
                 if ticket.attempts <= CRASH_RETRIES and not ticket.expired():
                     _log.warning(
                         "worker crashed mid-request (attempt %d); retrying "
@@ -361,6 +457,7 @@ class WorkerPool:
                 )
                 return
             worker.handled += 1
+            record_dispatch(outcome="ok" if reply.get("ok") else "error")
             if reply.get("ok"):
                 ticket.fulfil(reply["result"])
             else:
@@ -382,7 +479,7 @@ class WorkerPool:
             "worker %d (pid %s) replaced: %s",
             slot.index, slot.worker.pid, reason,
         )
-        slot.worker = _WorkerHandle(self.ctx)
+        slot.worker = _WorkerHandle(self.ctx, slot.index)
 
     def _recycle(self, slot: _Slot) -> None:
         slot.worker.shutdown()
@@ -392,7 +489,7 @@ class WorkerPool:
             "worker %d recycled after %d request(s)",
             slot.index, self.recycle_after,
         )
-        slot.worker = _WorkerHandle(self.ctx)
+        slot.worker = _WorkerHandle(self.ctx, slot.index)
 
     def _update_gauges(self) -> None:
         self.metrics.set_gauge("serve.queue_depth", self.queue.depth)

@@ -18,8 +18,9 @@ Response (success / failure)::
                                      "message": "..."}}
 
 ``id`` is any JSON scalar the client chooses and is echoed verbatim
-(``null`` when a frame was too broken to carry one).  ``deadline_s`` and
-``priority`` are optional; see :data:`OPS` for the verbs and
+(``null`` when a frame was too broken to carry one).  ``deadline_s``,
+``priority`` and ``trace`` (request a sampled trace back with the
+result) are optional; see :data:`OPS` for the verbs and
 :data:`ERROR_CODES` for every error the server emits.  Frames larger
 than :data:`MAX_LINE_BYTES` are rejected with ``payload_too_large`` and
 the connection is closed (the stream can no longer be framed reliably).
@@ -89,6 +90,9 @@ class Request:
     params: dict = field(default_factory=dict)
     deadline_s: float | None = None
     priority: str = "normal"
+    #: client opt-in to tracing: forces sampling for this request and
+    #: returns the connected span tree in ``result.trace``
+    trace: bool = False
 
 
 def parse_request(line: bytes) -> Request:
@@ -130,12 +134,20 @@ def parse_request(line: bytes) -> Request:
             f"priority must be one of {_PRIORITIES}, got {priority!r}",
             request_id=request_id,
         )
+    trace = payload.get("trace", False)
+    if not isinstance(trace, bool):
+        raise ProtocolError(
+            "invalid_params",
+            "trace must be a boolean",
+            request_id=request_id,
+        )
     return Request(
         op=op,
         id=request_id,
         params=params,
         deadline_s=deadline_s,
         priority=priority,
+        trace=trace,
     )
 
 

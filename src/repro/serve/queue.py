@@ -54,7 +54,13 @@ class Ticket:
     deadline: float | None = None
     priority: str = "normal"
     enqueued_at: float = field(default_factory=time.monotonic)
+    #: same instant on the :func:`time.perf_counter` clock — trace span
+    #: timestamps live in that domain (see :class:`repro.trace.Trace`)
+    enqueued_perf: float = field(default_factory=time.perf_counter)
     attempts: int = 0
+    #: the sampled request's live trace; the pool records queue-wait and
+    #: dispatch spans on it and ships its context into the worker
+    trace: object | None = None
 
     def remaining(self, now: float | None = None) -> float | None:
         """Seconds left before the deadline; None when unbounded."""
@@ -88,6 +94,14 @@ class AdmissionQueue:
     @property
     def depth(self) -> int:
         return len(self._high) + len(self._normal)
+
+    @property
+    def normal_depth(self) -> int:
+        return len(self._normal)
+
+    @property
+    def high_depth(self) -> int:
+        return len(self._high)
 
     @property
     def closed(self) -> bool:

@@ -37,6 +37,7 @@ import asyncio
 import contextlib
 import hashlib
 import json
+import logging
 import time
 from dataclasses import dataclass
 
@@ -44,6 +45,14 @@ from ..diag.host import host_metadata
 from ..diag.log import get_logger
 from ..interp import MachineOptions
 from ..pipeline import Analysis, PipelineOptions, paper_variants
+from ..trace import (
+    FlightRecorder,
+    HeadSampler,
+    Trace,
+    TraceContext,
+    new_trace_id,
+    write_spans_jsonl,
+)
 from .coalesce import SingleFlight
 from .metrics import ServeMetrics
 from .pool import DEFAULT_RECYCLE_AFTER, WorkerPool
@@ -76,6 +85,20 @@ class ServerConfig:
     cache_dir: str | None = ".repro-cache"
     default_max_steps: int = 50_000_000
     max_line_bytes: int = MAX_LINE_BYTES
+    #: head-based sampling rate for request traces (0 = only requests
+    #: that ask with ``trace: true``, 1 = every work request)
+    trace_sample: float = 0.0
+    #: JSONL file that receives every sampled request's spans
+    trace_export: str | None = None
+    #: flight-recorder ring size (always on; dumps crash bundles)
+    flight_capacity: int = 512
+    #: where crash bundles land (``fuzz-artifacts/``-style directories)
+    artifacts_dir: str = "serve-artifacts"
+    #: cap on crash bundles written per server lifetime
+    max_flight_dumps: int = 20
+    #: give up on a graceful drain after this many seconds (dump a
+    #: flight bundle, then hard-stop the pool); ``None`` waits forever
+    drain_timeout_s: float | None = None
 
 
 class ReproServer:
@@ -103,10 +126,22 @@ class ReproServer:
         self._drained = asyncio.Event()
         self._writers: set[asyncio.StreamWriter] = set()
         self._request_tasks: set[asyncio.Task] = set()
+        self.sampler = HeadSampler(self.config.trace_sample)
+        self.recorder = FlightRecorder(capacity=self.config.flight_capacity)
+        self._spans_exported = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
+        # warm the lazy imports _build_job leans on so the first request
+        # doesn't pay ~10ms of module loading inside its trace
+        from ..runner import cache, scheduler  # noqa: F401
+
+        # recent server-side log records ride along in crash bundles
+        logging.getLogger("repro").addHandler(self.recorder.log_handler)
+        if self.config.trace_export is not None:
+            # truncate: the export is this server instance's span stream
+            open(self.config.trace_export, "w").close()
         await self.pool.start()
         self._server = await asyncio.start_server(
             self._on_connection,
@@ -140,7 +175,21 @@ class ReproServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        await self.pool.drain()
+        if self.config.drain_timeout_s is None:
+            await self.pool.drain()
+        else:
+            try:
+                await asyncio.wait_for(
+                    self.pool.drain(), self.config.drain_timeout_s
+                )
+            except asyncio.TimeoutError:
+                _log.error(
+                    "drain did not finish within %.1fs; dumping flight "
+                    "recorder and hard-stopping the pool",
+                    self.config.drain_timeout_s,
+                )
+                self._dump_flight("drain_timeout")
+                await self.pool.stop()
         # every ticket is settled; let the response writers run dry
         pending = [task for task in self._request_tasks if not task.done()]
         if pending:
@@ -149,6 +198,7 @@ class ReproServer:
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+        logging.getLogger("repro").removeHandler(self.recorder.log_handler)
         self._drained.set()
         _log.info("drain complete")
 
@@ -168,6 +218,7 @@ class ReproServer:
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+        logging.getLogger("repro").removeHandler(self.recorder.log_handler)
         self._drained.set()
 
     # -- connection handling ----------------------------------------------
@@ -225,10 +276,21 @@ class ReproServer:
         started = time.monotonic()
         op = "invalid"
         ok = False
+        trace: Trace | None = None
         try:
             request = parse_request(line)
             op = request.op
-            result = await self._dispatch(request)
+            trace = self._maybe_trace(request)
+            if trace is None:
+                result = await self._dispatch(request, None)
+            else:
+                with trace.span("request", op=op):
+                    result = await self._dispatch(request, trace)
+                self._export_trace(trace)
+                result["trace"] = {
+                    "trace_id": trace.context.trace_id,
+                    "spans": [event.as_dict() for event in trace.events],
+                }
             ok = True
             frame = encode_result(request.id, result)
         except ProtocolError as error:
@@ -240,8 +302,65 @@ class ReproServer:
             _log.exception("internal error serving request")
             self.metrics.observe_error("internal")
             frame = encode_error(None, "internal", f"{type(error).__name__}: {error}")
-        self.metrics.observe_request(op, time.monotonic() - started, ok)
+        latency = time.monotonic() - started
+        self.metrics.observe_request(op, latency, ok)
+        # always-on coarse marker: one preallocated ring slot per request,
+        # regardless of sampling — this is what crash bundles replay
+        self.recorder.record_span(
+            f"request.{op}",
+            seconds=latency,
+            wall_start=time.time() - latency,
+            trace_id=(
+                trace.context.trace_id if trace is not None else None
+            ),
+            worker="serve",
+            args={"ok": ok},
+        )
         await self._send(writer, write_lock, frame)
+
+    _WORK_OPS = frozenset({"compile", "run", "suite_cell", "explain"})
+
+    def _maybe_trace(self, request: Request) -> Trace | None:
+        """Head-based sampling decision, made once at admission: the
+        client's ``trace: true`` forces it, otherwise the configured
+        sample rate applies (work ops only — control ops are answered
+        inline and have nothing to attribute)."""
+        if request.op not in self._WORK_OPS:
+            return None
+        if not (request.trace or self.sampler.sample()):
+            return None
+        return Trace(
+            f"request.{request.op}",
+            context=TraceContext(new_trace_id()),
+            worker="serve",
+        )
+
+    def _export_trace(self, trace: Trace) -> None:
+        if self.config.trace_export is None:
+            return
+        self._spans_exported += write_spans_jsonl(
+            self.config.trace_export, trace.events, append=True
+        )
+
+    def _dump_flight(self, reason: str, trace: Trace | None = None) -> None:
+        """Write a crash bundle (bounded per server lifetime)."""
+        if self.recorder.dumps >= self.config.max_flight_dumps:
+            return
+        meta: dict = {"server_uptime_s": round(self.metrics.uptime_s(), 3)}
+        if trace is not None:
+            meta["trace_id"] = trace.context.trace_id
+        try:
+            bundle = self.recorder.dump(
+                self.config.artifacts_dir,
+                reason,
+                extra_spans=trace.events if trace is not None else None,
+                meta=meta,
+            )
+        except OSError as error:  # pragma: no cover - disk trouble
+            _log.error("failed to write flight bundle: %s", error)
+            return
+        self.metrics.inc("serve.flight_dumps")
+        _log.warning("flight recorder dumped to %s (%s)", bundle, reason)
 
     async def _send(
         self, writer: asyncio.StreamWriter, lock: asyncio.Lock, frame: bytes
@@ -255,7 +374,7 @@ class ReproServer:
 
     # -- dispatch ----------------------------------------------------------
 
-    async def _dispatch(self, request: Request) -> dict:
+    async def _dispatch(self, request: Request, trace: Trace | None) -> dict:
         if request.op == "health":
             return self._health()
         if request.op == "metrics":
@@ -263,8 +382,17 @@ class ReproServer:
         if request.op == "drain":
             asyncio.get_running_loop().create_task(self.drain())
             return {"status": "draining"}
-        job, key, cacheable = self._build_job(request)
-        return await self._submit(request, job, key, cacheable)
+        if trace is not None:
+            with trace.span("build_job", op=request.op) as extra:
+                job, key, cacheable = self._build_job(request)
+                spec = job.get("spec")
+                if spec is not None:
+                    # lets `repro trace --program` select cell traces
+                    extra["program"] = spec.workload
+                    extra["variant"] = spec.variant
+        else:
+            job, key, cacheable = self._build_job(request)
+        return await self._submit(request, job, key, cacheable, trace)
 
     def _health(self) -> dict:
         return {
@@ -273,13 +401,38 @@ class ReproServer:
             "queue_depth": self.queue.depth,
             "inflight": self.flight.depth,
             "draining": self._draining,
+            "trace_sample": self.sampler.rate,
             "workers": self.pool.describe(),
         }
 
     def _metrics(self) -> dict:
         self.metrics.set_gauge("serve.queue_depth", self.queue.depth)
+        self.metrics.set_gauge(
+            "serve.queue_depth_normal", self.queue.normal_depth
+        )
+        self.metrics.set_gauge("serve.queue_depth_high", self.queue.high_depth)
         self.metrics.set_gauge("serve.workers_busy", self.pool.busy_count)
+        self.metrics.set_gauge(
+            "serve.flight_occupancy", self.recorder.occupancy
+        )
         snapshot = self.metrics.snapshot()
+        snapshot["uptime_s"] = round(self.metrics.uptime_s(), 3)
+        snapshot["queue"] = {
+            "depth": self.queue.depth,
+            "normal_depth": self.queue.normal_depth,
+            "high_depth": self.queue.high_depth,
+            "limit": self.config.queue_limit,
+        }
+        snapshot["flight_recorder"] = {
+            "capacity": self.recorder.capacity,
+            "occupancy": self.recorder.occupancy,
+            "dropped": self.recorder.dropped,
+            "dumps": self.recorder.dumps,
+        }
+        snapshot["trace"] = {
+            "sample_rate": self.sampler.rate,
+            "spans_exported": self._spans_exported,
+        }
         snapshot["host"] = host_metadata()
         if self.cache is not None:
             snapshot["cache"] = {
@@ -460,21 +613,46 @@ class ReproServer:
     # -- work submission ---------------------------------------------------
 
     async def _submit(
-        self, request: Request, job: dict, key: str, cacheable: bool
+        self,
+        request: Request,
+        job: dict,
+        key: str,
+        cacheable: bool,
+        trace: Trace | None = None,
     ) -> dict:
         if self._draining:
             raise ProtocolError("draining", "server is draining", request.id)
         if cacheable and self.cache is not None:
-            payload = self.cache.get(key)
-            if payload is not None:
-                self.metrics.inc("serve.cache_hits")
-                return self._cell_result(
-                    job, dict(payload), from_cache=True, coalesced=False
-                )
+            if trace is None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    self.metrics.inc("serve.cache_hits")
+                    return self._cell_result(
+                        job, dict(payload), from_cache=True, coalesced=False
+                    )
+            else:
+                # on a hit the whole sub-millisecond request is this span
+                # plus build_job; formatting inside it keeps the trace's
+                # coverage honest instead of leaving a tail gap
+                with trace.span("cache_lookup") as extra:
+                    payload = self.cache.get(key)
+                    extra["hit"] = payload is not None
+                    if payload is not None:
+                        self.metrics.inc("serve.cache_hits")
+                        return self._cell_result(
+                            job, dict(payload),
+                            from_cache=True, coalesced=False,
+                        )
         future, leader = self.flight.claim(key)
         if not leader:
             self.metrics.inc("serve.coalesced")
-            ok, payload = await asyncio.shield(future)
+            if trace is None:
+                ok, payload = await asyncio.shield(future)
+            else:
+                # a follower's whole wait is the leader's computation; the
+                # leader's worker spans belong to the leader's trace only
+                with trace.span("coalesce_wait"):
+                    ok, payload = await asyncio.shield(future)
             if not ok:
                 raise ProtocolError(
                     self._error_code(payload), payload["message"], request.id
@@ -493,6 +671,7 @@ class ReproServer:
                 future=asyncio.get_running_loop().create_future(),
                 deadline=time.monotonic() + deadline_s,
                 priority=request.priority,
+                trace=trace,
             )
             try:
                 self.queue.put(ticket)
@@ -505,6 +684,12 @@ class ReproServer:
                 raise ProtocolError("draining", str(error), request.id)
             self.metrics.set_gauge("serve.queue_depth", self.queue.depth)
             ok, payload = await ticket.future
+            if trace is not None and isinstance(payload, dict):
+                # pop before flight.resolve shares the payload: followers
+                # must not adopt this leader's worker-side spans
+                worker_spans = payload.pop("trace_spans", None)
+                if ok and worker_spans:
+                    trace.adopt(worker_spans)
             if ok:
                 self.metrics.inc("serve.executed")
                 if cacheable and self.cache is not None:
@@ -512,9 +697,11 @@ class ReproServer:
         finally:
             self.flight.resolve(key, ok, payload)
         if not ok:
-            raise ProtocolError(
-                self._error_code(payload), payload["message"], request.id
-            )
+            code = self._error_code(payload)
+            if code in ("worker_crashed", "deadline_exceeded"):
+                # the worker died without a word — preserve the evidence
+                self._dump_flight(code, trace)
+            raise ProtocolError(code, payload["message"], request.id)
         return self._format_result(job, payload, coalesced=False)
 
     @staticmethod

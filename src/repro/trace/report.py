@@ -1,0 +1,267 @@
+"""Rendering for the ``repro trace`` CLI.
+
+Consumes the JSONL span stream the server's ``--trace-export`` writes
+(see :func:`repro.trace.analyze.write_spans_jsonl`) and turns it into
+the four operator views:
+
+* ``show`` — one line per trace, or the full span tree of one trace;
+* ``top`` — spans aggregated by name across the selected traces;
+* ``slow`` — slowest traces with their latency attribution;
+* ``critical-path`` — the heaviest root-to-leaf chain per trace.
+
+Filters are split by granularity: trace-level selection
+(:func:`filter_traces` — by id, request op, workload) picks which
+requests are in view, span-level selection (:func:`filter_spans` — by
+span name, worker) narrows the aggregation inside them.
+"""
+
+from __future__ import annotations
+
+from .analyze import attribution, critical_path, trace_root
+from .spans import SpanEvent
+
+__all__ = [
+    "aggregate_spans",
+    "filter_spans",
+    "filter_traces",
+    "format_critical_path",
+    "format_slow",
+    "format_top",
+    "format_trace_list",
+    "format_trace_tree",
+    "trace_program",
+]
+
+#: args keys that name the workload a trace ran (build_job stamps
+#: ``program``; worker-side interp spans carry ``function``)
+_PROGRAM_KEYS = ("program", "workload")
+
+
+def trace_program(events: list[SpanEvent]) -> str | None:
+    """The workload name a trace ran, if any span recorded one."""
+    for event in events:
+        for key in _PROGRAM_KEYS:
+            value = event.args.get(key)
+            if isinstance(value, str):
+                return value
+    return None
+
+
+def _trace_op(events: list[SpanEvent]) -> str | None:
+    root = trace_root(events)
+    if root is not None and isinstance(root.args.get("op"), str):
+        return root.args["op"]
+    for event in events:
+        if event.name == "build_job" and isinstance(event.args.get("op"), str):
+            return event.args["op"]
+    return None
+
+
+def filter_traces(
+    groups: dict[str, list[SpanEvent]],
+    trace_id: str | None = None,
+    op: str | None = None,
+    program: str | None = None,
+) -> dict[str, list[SpanEvent]]:
+    """Trace-level selection; ``trace_id`` accepts a unique prefix."""
+    selected = {}
+    for tid, events in groups.items():
+        if trace_id is not None and not tid.startswith(trace_id):
+            continue
+        if op is not None and _trace_op(events) != op:
+            continue
+        if program is not None and trace_program(events) != program:
+            continue
+        selected[tid] = events
+    return selected
+
+
+def filter_spans(
+    events: list[SpanEvent],
+    name: str | None = None,
+    worker: str | None = None,
+) -> list[SpanEvent]:
+    """Span-level selection by exact name and/or worker label."""
+    out = events
+    if name is not None:
+        out = [e for e in out if e.name == name]
+    if worker is not None:
+        out = [e for e in out if e.worker == worker]
+    return out
+
+
+# -- show --------------------------------------------------------------------
+
+
+def format_trace_list(
+    groups: dict[str, list[SpanEvent]], limit: int = 10
+) -> str:
+    """One line per trace, most recent first."""
+    rows = []
+    for tid, events in groups.items():
+        root = trace_root(events)
+        rows.append(
+            (
+                root.wall_start or 0.0 if root else 0.0,
+                tid,
+                (root.seconds * 1e3) if root else 0.0,
+                len(events),
+                _trace_op(events) or "-",
+                trace_program(events) or "-",
+                sorted({e.worker for e in events if e.worker is not None}),
+            )
+        )
+    rows.sort(key=lambda r: -r[0])
+    header = (
+        f"{'trace':<18} {'ms':>9} {'spans':>6} {'op':<10} "
+        f"{'program':<16} workers"
+    )
+    lines = [header, "-" * len(header)]
+    for _, tid, ms, count, op, program, workers in rows[:limit]:
+        lines.append(
+            f"{tid:<18} {ms:>9.2f} {count:>6} {op:<10} "
+            f"{program:<16} {','.join(workers)}"
+        )
+    if len(rows) > limit:
+        lines.append(f"... {len(rows) - limit} more (raise -n)")
+    return "\n".join(lines)
+
+
+def _format_args(event: SpanEvent) -> str:
+    parts = []
+    for key, value in event.args.items():
+        if isinstance(value, float):
+            value = round(value, 4)
+        if isinstance(value, (str, int, bool)):
+            parts.append(f"{key}={value}")
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def format_trace_tree(events: list[SpanEvent]) -> str:
+    """The span tree of one trace: offset, duration, worker, name, args."""
+    root = trace_root(events)
+    if root is None:
+        return "(no root span)"
+    by_parent: dict[str | None, list[SpanEvent]] = {}
+    for event in events:
+        if event is not root:
+            by_parent.setdefault(event.parent_id, []).append(event)
+    lines = [f"trace {root.trace_id}  ({root.seconds * 1e3:.2f} ms)"]
+    seen: set[str] = set()
+
+    def walk(event: SpanEvent, depth: int) -> None:
+        offset = (event.start - root.start) * 1e3
+        worker = event.worker or "-"
+        lines.append(
+            f"{offset:>9.2f}ms {'  ' * depth}{event.name} "
+            f"+{event.seconds * 1e3:.2f}ms  ({worker})"
+            f"{_format_args(event)}"
+        )
+        if event.span_id is None or event.span_id in seen:
+            return
+        seen.add(event.span_id)
+        for child in sorted(
+            by_parent.get(event.span_id, []), key=lambda e: e.start
+        ):
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    # anything unreachable from the root is a propagation bug — show it
+    shown = len(lines) - 1
+    if shown < len(events):
+        lines.append(f"! {len(events) - shown} span(s) unreachable from root")
+    return "\n".join(lines)
+
+
+# -- top ---------------------------------------------------------------------
+
+
+def aggregate_spans(
+    groups: dict[str, list[SpanEvent]],
+    name: str | None = None,
+    worker: str | None = None,
+) -> list[dict]:
+    """Per-span-name totals across the selected traces, heaviest first."""
+    totals: dict[str, dict] = {}
+    for events in groups.values():
+        for event in filter_spans(events, name=name, worker=worker):
+            row = totals.setdefault(
+                event.name,
+                {"name": event.name, "calls": 0, "total_s": 0.0, "max_s": 0.0},
+            )
+            row["calls"] += 1
+            row["total_s"] += event.seconds
+            row["max_s"] = max(row["max_s"], event.seconds)
+    rows = sorted(totals.values(), key=lambda r: -r["total_s"])
+    for row in rows:
+        row["mean_s"] = row["total_s"] / row["calls"]
+    return rows
+
+
+def format_top(
+    groups: dict[str, list[SpanEvent]],
+    limit: int = 10,
+    name: str | None = None,
+    worker: str | None = None,
+) -> str:
+    rows = aggregate_spans(groups, name=name, worker=worker)
+    header = (
+        f"{'span':<20} {'calls':>6} {'total (ms)':>11} "
+        f"{'mean (ms)':>10} {'max (ms)':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows[:limit]:
+        lines.append(
+            f"{row['name']:<20} {row['calls']:>6} "
+            f"{row['total_s'] * 1e3:>11.2f} {row['mean_s'] * 1e3:>10.2f} "
+            f"{row['max_s'] * 1e3:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+# -- slow / critical-path ----------------------------------------------------
+
+_STAGE_ORDER = ("queue", "cache", "coalesce", "compile", "execute", "other")
+
+
+def format_slow(groups: dict[str, list[SpanEvent]], limit: int = 10) -> str:
+    """Slowest traces with their per-stage latency attribution."""
+    scored = []
+    for tid, events in groups.items():
+        root = trace_root(events)
+        if root is None:
+            continue
+        scored.append((root.seconds, tid, events))
+    scored.sort(key=lambda r: -r[0])
+    header = (
+        f"{'trace':<18} {'ms':>9} "
+        + " ".join(f"{stage:>9}" for stage in _STAGE_ORDER)
+        + f" {'cover':>6} {'program':<14}"
+    )
+    lines = [header, "-" * len(header)]
+    for seconds, tid, events in scored[:limit]:
+        att = attribution(events)
+        stages = " ".join(
+            f"{att[stage] * 1e3:>9.2f}" for stage in _STAGE_ORDER
+        )
+        lines.append(
+            f"{tid:<18} {seconds * 1e3:>9.2f} {stages} "
+            f"{att['coverage'] * 100:>5.1f}% {trace_program(events) or '-':<14}"
+        )
+    return "\n".join(lines)
+
+
+def format_critical_path(events: list[SpanEvent]) -> str:
+    """The heaviest root-to-leaf chain, with share of total latency."""
+    path = critical_path(events)
+    if not path:
+        return "(no root span)"
+    total = path[0].seconds or 1.0
+    lines = [f"trace {path[0].trace_id}  ({path[0].seconds * 1e3:.2f} ms)"]
+    for depth, event in enumerate(path):
+        worker = event.worker or "-"
+        lines.append(
+            f"{'  ' * depth}{event.name:<20} {event.seconds * 1e3:>9.2f}ms "
+            f"{100.0 * event.seconds / total:>5.1f}%  ({worker})"
+        )
+    return "\n".join(lines)

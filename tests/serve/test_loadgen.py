@@ -84,6 +84,71 @@ class TestCampaign:
         assert executed + totals["coalesced"] == 8
 
 
+class TestTracedCampaign:
+    def test_trace_sample_yields_per_request_breakdowns(self, tmp_path):
+        out = tmp_path / "BENCH_serve.json"
+
+        async def scenario():
+            server = ReproServer(
+                ServerConfig(port=0, workers=2, cache_dir=None)
+            )
+            await server.start()
+            try:
+                payload = await run_loadgen(
+                    loadgen_config(
+                        server.port,
+                        requests=12,
+                        concurrency=2,
+                        warmup=False,
+                        trace_sample=0.5,
+                        out=str(out),
+                    )
+                )
+            finally:
+                await server.stop()
+            return payload
+
+        payload = run_async(scenario())
+        assert payload["totals"]["errors"] == 0
+        breakdown = payload["per_request_breakdown"]
+        # (index * 0.5) % 1.0 < 0.5 traces every other request
+        assert breakdown["sampled"] == 6
+        for stage in ("queue_ms", "cache_ms", "coalesce_ms",
+                      "compile_ms", "execute_ms", "other_ms"):
+            assert {"p50", "p95", "p99", "mean"} <= set(breakdown[stage])
+        # dispatched requests do real work, so span coverage holds the
+        # >=90%-of-latency bar (sub-ms cache hits would not: span
+        # bookkeeping alone is ~15% of a 300us request)
+        assert breakdown["coverage"]["min"] >= 0.9
+        assert payload["config"]["trace_sample"] == 0.5
+        # the breakdown also lands in the written benchmark file
+        written = json.loads(out.read_text())
+        assert written["per_request_breakdown"]["sampled"] == 6
+        text = format_loadgen(payload)
+        assert "traced 6 request(s)" in text
+        assert "coverage mean" in text
+
+    def test_trace_sample_zero_reports_nothing_sampled(self, tmp_path):
+        async def scenario():
+            server = ReproServer(
+                ServerConfig(
+                    port=0, workers=1, cache_dir=str(tmp_path / "cache")
+                )
+            )
+            await server.start()
+            try:
+                payload = await run_loadgen(
+                    loadgen_config(server.port, requests=4)
+                )
+            finally:
+                await server.stop()
+            return payload
+
+        payload = run_async(scenario())
+        assert payload["per_request_breakdown"]["sampled"] == 0
+        assert "traced" not in format_loadgen(payload)
+
+
 class TestFaultInjection:
     def test_worker_killed_mid_campaign_server_stays_healthy(self):
         """A worker SIGKILLed while executing must not fail the campaign:

@@ -1,0 +1,307 @@
+"""End-to-end request tracing through the live server.
+
+These are the tentpole guarantees: a sampled request produces ONE
+connected trace whose spans cross the fork boundary into the worker and
+back; crashes and deadline kills dump flight-recorder bundles that
+contain the killed request's spans; tracing stays strictly opt-in.
+"""
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ReproServer, ServerConfig
+from repro.trace import (
+    SpanEvent,
+    attribution,
+    group_traces,
+    load_spans,
+    orphan_spans,
+    trace_root,
+)
+from tests.serve.helpers import FAST_SOURCE, run_async, slow_source
+
+
+@contextlib.asynccontextmanager
+async def serving(**config_kw):
+    config_kw.setdefault("port", 0)
+    config_kw.setdefault("cache_dir", None)
+    config_kw.setdefault("workers", 1)
+    server = ReproServer(ServerConfig(**config_kw))
+    await server.start()
+    try:
+        yield server
+    finally:
+        await server.stop()
+
+
+@contextlib.asynccontextmanager
+async def connected(server: ReproServer):
+    client = await ServeClient.connect("127.0.0.1", server.port)
+    try:
+        yield client
+    finally:
+        await client.close()
+
+
+def _events(result: dict) -> list[SpanEvent]:
+    return [SpanEvent.from_dict(d) for d in result["trace"]["spans"]]
+
+
+class TestPropagation:
+    def test_traced_run_is_one_connected_trace_across_the_fork(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                result = await client.call(
+                    "run", {"source": FAST_SOURCE}, trace=True
+                )
+                events = _events(result)
+                # one trace id everywhere, including worker-side spans
+                assert {e.trace_id for e in events} == {
+                    result["trace"]["trace_id"]
+                }
+                assert orphan_spans(events) == []
+                root = trace_root(events)
+                assert root.name == "request"
+                assert root.worker == "serve"
+
+                names = {e.name for e in events}
+                assert {"build_job", "queue_wait", "dispatch", "parse",
+                        "optimize", "execute", "interp.run"} <= names
+
+                # worker spans really came from the forked process
+                workers = {e.worker for e in events}
+                assert "w0" in workers
+                dispatch = next(e for e in events if e.name == "dispatch")
+                assert dispatch.args["pid"] != os.getpid()
+                # worker spans are parented under the dispatch span
+                worker_roots = [
+                    e for e in events
+                    if e.worker == "w0" and e.parent_id == dispatch.span_id
+                ]
+                assert worker_roots
+
+                # attribution accounts for >=90% of the request latency
+                att = attribution(events)
+                assert att["coverage"] >= 0.9, att
+
+        run_async(scenario())
+
+    def test_pass_spans_carry_decision_counts(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                result = await client.call(
+                    "run", {"source": FAST_SOURCE}, trace=True
+                )
+                promotion = next(
+                    e for e in _events(result) if e.name == "promotion"
+                )
+                assert isinstance(promotion.args.get("decisions"), int)
+
+        run_async(scenario())
+
+    def test_untraced_requests_carry_no_trace_and_mint_no_spans(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                result = await client.call("run", {"source": FAST_SOURCE})
+                assert "trace" not in result
+                metrics = await client.call("metrics")
+                assert metrics["trace"]["spans_exported"] == 0
+
+        run_async(scenario())
+
+    def test_sampled_cache_hit_skips_dispatch_but_still_traces(self, tmp_path):
+        async def scenario():
+            async with serving(cache_dir=str(tmp_path)) as server:
+                async with connected(server) as client:
+                    await client.call("run", {"source": FAST_SOURCE})
+                    result = await client.call(
+                        "run", {"source": FAST_SOURCE}, trace=True
+                    )
+                    assert result["from_cache"]
+                    names = {e.name for e in _events(result)}
+                    assert "cache_lookup" in names
+                    assert "dispatch" not in names
+
+        run_async(scenario())
+
+    def test_head_sampling_traces_every_request_at_rate_one(self):
+        async def scenario():
+            async with serving(trace_sample=1.0) as server:
+                async with connected(server) as client:
+                    result = await client.call("run", {"source": FAST_SOURCE})
+                    assert "trace" in result
+                    health = await client.call("health")
+                    assert health["trace_sample"] == 1.0
+
+        run_async(scenario())
+
+    def test_trace_export_stream_accumulates_traces(self, tmp_path):
+        export = tmp_path / "spans.jsonl"
+
+        async def scenario():
+            async with serving(trace_export=str(export)) as server:
+                async with connected(server) as client:
+                    await client.call(
+                        "run", {"source": FAST_SOURCE}, trace=True
+                    )
+                    await client.call(
+                        "run", {"source": FAST_SOURCE + "/*2*/"}, trace=True
+                    )
+
+        run_async(scenario())
+        groups = group_traces(load_spans(export))
+        assert len(groups) == 2
+        for events in groups.values():
+            assert orphan_spans(events) == []
+
+
+class TestFlightDumps:
+    def test_worker_crash_dumps_bundle_with_the_victims_trace(self, tmp_path):
+        async def scenario():
+            async with serving(
+                artifacts_dir=str(tmp_path / "artifacts")
+            ) as server:
+                async with connected(server) as client:
+                    task = asyncio.create_task(
+                        client.call(
+                            "run",
+                            {"source": slow_source(50_000_000, salt=7)},
+                            deadline_s=60.0,
+                            trace=True,
+                        )
+                    )
+
+                    async def assassin():
+                        while not task.done():
+                            slot = server.pool.slots[0]
+                            if slot.busy:
+                                try:
+                                    os.kill(
+                                        slot.worker.pid, signal.SIGKILL
+                                    )
+                                except ProcessLookupError:
+                                    pass
+                                await asyncio.sleep(0.05)
+                            else:
+                                await asyncio.sleep(0.01)
+
+                    killer = asyncio.create_task(assassin())
+                    try:
+                        await asyncio.wait_for(task, 60)
+                        raise AssertionError("expected worker_crashed")
+                    except ServeError as error:
+                        assert error.code == "worker_crashed"
+                    finally:
+                        killer.cancel()
+
+                    metrics = await client.call("metrics")
+                    assert metrics["flight_recorder"]["dumps"] >= 1
+
+            bundles = list((tmp_path / "artifacts").glob("flight-*"))
+            assert bundles
+            assert any("worker_crashed" in b.name for b in bundles)
+            bundle = next(b for b in bundles if "worker_crashed" in b.name)
+            meta = json.loads((bundle / "meta.json").read_text())
+            assert meta["reason"] == "worker_crashed"
+            # the killed request's spans are in the bundle, findable by
+            # its trace id
+            spans = (bundle / "spans.jsonl").read_text()
+            assert meta["trace_id"] is not None
+            assert meta["trace_id"] in spans
+
+        run_async(scenario())
+
+    def test_deadline_kill_dumps_bundle_with_the_requests_spans(
+        self, tmp_path
+    ):
+        async def scenario():
+            async with serving(
+                artifacts_dir=str(tmp_path / "artifacts")
+            ) as server:
+                async with connected(server) as client:
+                    try:
+                        await client.call(
+                            "run",
+                            {"source": slow_source(50_000_000, salt=8)},
+                            deadline_s=0.7,
+                            trace=True,
+                        )
+                        raise AssertionError("expected deadline_exceeded")
+                    except ServeError as error:
+                        assert error.code == "deadline_exceeded"
+                # the pool replaced the killed worker; server still serves
+                async with connected(server) as client:
+                    health = await client.call("health")
+                    assert health["status"] == "ok"
+
+            bundles = list((tmp_path / "artifacts").glob("flight-*"))
+            assert any("deadline_exceeded" in b.name for b in bundles)
+            bundle = next(
+                b for b in bundles if "deadline_exceeded" in b.name
+            )
+            meta = json.loads((bundle / "meta.json").read_text())
+            spans = (bundle / "spans.jsonl").read_text()
+            # the killed request's server-side spans made it in
+            assert meta["trace_id"] in spans
+            assert "queue_wait" in spans
+
+        run_async(scenario())
+
+    def test_dump_cap_bounds_bundle_count(self, tmp_path):
+        async def scenario():
+            async with serving(
+                artifacts_dir=str(tmp_path / "artifacts"),
+                max_flight_dumps=1,
+            ) as server:
+                async with connected(server) as client:
+                    for salt in (11, 12):
+                        try:
+                            await client.call(
+                                "run",
+                                {"source": slow_source(50_000_000,
+                                                       salt=salt)},
+                                deadline_s=0.5,
+                                trace=True,
+                            )
+                        except ServeError:
+                            pass
+            assert len(list((tmp_path / "artifacts").glob("flight-*"))) == 1
+
+        run_async(scenario())
+
+
+class TestObservabilitySurface:
+    def test_metrics_expose_queue_flight_and_uptime(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                await client.call("run", {"source": FAST_SOURCE})
+                metrics = await client.call("metrics")
+                assert metrics["uptime_s"] > 0
+                queue = metrics["queue"]
+                assert {"depth", "normal_depth", "high_depth",
+                        "limit"} <= set(queue)
+                flight = metrics["flight_recorder"]
+                assert flight["capacity"] == 512
+                # the always-on recorder saw the request
+                assert flight["occupancy"] >= 1
+                assert metrics["trace"]["sample_rate"] == 0.0
+                gauges = metrics["metrics"]
+                assert "serve.queue_depth_normal" in gauges
+                assert "serve.flight_occupancy" in gauges
+
+        run_async(scenario())
+
+    def test_flight_recorder_records_untraced_requests_too(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                await client.call("run", {"source": FAST_SOURCE})
+                names = [
+                    slot["name"] for slot in server.recorder.snapshot()
+                ]
+                assert "request.run" in names
+
+        run_async(scenario())

@@ -1,0 +1,173 @@
+"""Trace analysis: grouping, structure checks, attribution, reporting."""
+
+from repro.trace import (
+    SpanEvent,
+    attribution,
+    critical_path,
+    group_traces,
+    load_spans,
+    orphan_spans,
+    trace_coverage,
+    trace_root,
+    write_spans_jsonl,
+)
+from repro.trace.report import (
+    aggregate_spans,
+    filter_traces,
+    format_critical_path,
+    format_slow,
+    format_top,
+    format_trace_list,
+    format_trace_tree,
+    trace_program,
+)
+
+
+def _span(name, start, seconds, *, tid="t1", sid=None, parent=None,
+          worker="serve", **args):
+    return SpanEvent(
+        name=name, start=start, seconds=seconds, depth=0,
+        self_seconds=seconds, args=args, trace_id=tid, span_id=sid,
+        parent_id=parent, worker=worker, wall_start=1000.0 + start,
+    )
+
+
+def _request_trace(tid="t1", *, queue=0.1, compile_s=0.3, execute=0.5,
+                   program="tsp"):
+    """A synthetic but structurally faithful serve trace."""
+    total = 0.05 + queue + compile_s + execute + 0.05
+    return [
+        _span("request", 0.0, total, tid=tid, sid="a-1", op="run"),
+        _span("build_job", 0.01, 0.04, tid=tid, sid="a-2", parent="a-1",
+              program=program),
+        _span("cache_lookup", 0.05, 0.005, tid=tid, sid="a-3", parent="a-1",
+              hit=False),
+        _span("queue_wait", 0.055, queue, tid=tid, sid="a-4", parent="a-1"),
+        _span("dispatch", 0.055 + queue, compile_s + execute + 0.05,
+              tid=tid, sid="a-5", parent="a-1"),
+        _span("compile", 0.06 + queue, compile_s, tid=tid, sid="b-1",
+              parent="a-5", worker="w0"),
+        _span("promotion", 0.1 + queue, 0.05, tid=tid, sid="b-2",
+              parent="b-1", worker="w0"),
+        _span("execute", 0.06 + queue + compile_s, execute, tid=tid,
+              sid="b-3", parent="a-5", worker="w0"),
+        _span("interp.run", 0.07 + queue + compile_s, execute - 0.01,
+              tid=tid, sid="b-4", parent="b-3", worker="w0"),
+    ]
+
+
+class TestStructure:
+    def test_group_traces_skips_anonymous(self):
+        events = _request_trace() + [
+            SpanEvent("legacy", 0.0, 1.0, 0, 1.0, {})
+        ]
+        groups = group_traces(events)
+        assert set(groups) == {"t1"}
+        assert len(groups["t1"]) == 9
+
+    def test_root_and_orphans(self):
+        events = _request_trace()
+        assert trace_root(events).name == "request"
+        assert orphan_spans(events) == []
+        stray = _span("lost", 0.0, 0.1, sid="z-9", parent="missing")
+        assert orphan_spans(events + [stray]) == [stray]
+
+    def test_coverage_counts_direct_children_only(self):
+        events = _request_trace(queue=0.2, compile_s=0.3, execute=0.4)
+        cover = trace_coverage(events)
+        assert 0.9 <= cover <= 1.0
+        # drop the dispatch span: the worker time becomes a gap
+        gappy = [e for e in events if e.name != "dispatch"]
+        assert trace_coverage(gappy) < 0.5
+
+
+class TestAttribution:
+    def test_buckets_sum_to_total(self):
+        events = _request_trace(queue=0.2, compile_s=0.3, execute=0.4)
+        att = attribution(events)
+        assert abs(att["queue"] - 0.2) < 1e-9
+        assert abs(att["compile"] - 0.3) < 1e-9
+        assert abs(att["execute"] - 0.4) < 1e-9
+        parts = sum(
+            att[k] for k in
+            ("queue", "cache", "coalesce", "compile", "execute", "other")
+        )
+        assert abs(parts - att["total"]) < 1e-9
+
+    def test_nested_same_bucket_spans_count_once(self):
+        """interp.run inside execute must not double the execute bucket;
+        promotion inside compile must not double compile."""
+        events = _request_trace(compile_s=0.3, execute=0.5)
+        att = attribution(events)
+        assert att["execute"] == 0.5
+        assert att["compile"] == 0.3
+
+    def test_critical_path_descends_heaviest_chain(self):
+        events = _request_trace(queue=0.05, compile_s=0.2, execute=0.9)
+        names = [e.name for e in critical_path(events)]
+        assert names == ["request", "dispatch", "execute", "interp.run"]
+
+
+class TestJsonlRoundTrip:
+    def test_write_and_load(self, tmp_path):
+        events = _request_trace()
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(path, events) == len(events)
+        assert load_spans(path) == events
+
+    def test_append_mode_accumulates(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        write_spans_jsonl(path, _request_trace("t1"))
+        write_spans_jsonl(path, _request_trace("t2"), append=True)
+        assert set(group_traces(load_spans(path))) == {"t1", "t2"}
+
+
+class TestReport:
+    def _groups(self):
+        return group_traces(
+            _request_trace("t1", program="tsp")
+            + _request_trace("t2", execute=2.0, program="fft")
+        )
+
+    def test_filter_by_program_op_and_id_prefix(self):
+        groups = self._groups()
+        assert set(filter_traces(groups, program="fft")) == {"t2"}
+        assert set(filter_traces(groups, op="run")) == {"t1", "t2"}
+        assert set(filter_traces(groups, trace_id="t")) == {"t1", "t2"}
+        assert filter_traces(groups, program="nope") == {}
+
+    def test_trace_program_reads_build_job_args(self):
+        assert trace_program(_request_trace(program="mlink")) == "mlink"
+
+    def test_aggregate_and_top(self):
+        groups = self._groups()
+        rows = aggregate_spans(groups)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["request"]["calls"] == 2
+        assert rows[0]["name"] == "request"  # heaviest first
+        text = format_top(groups, limit=3)
+        assert "request" in text and "calls" in text
+
+    def test_slow_ranks_by_duration_and_shows_stages(self):
+        text = format_slow(self._groups(), limit=2)
+        lines = text.splitlines()
+        assert lines[2].startswith("t2")  # the slower trace leads
+        assert "queue" in lines[0] and "cover" in lines[0]
+
+    def test_tree_renders_every_span_and_flags_unreachable(self):
+        events = _request_trace()
+        text = format_trace_tree(events)
+        for event in events:
+            assert event.name in text
+        assert "unreachable" not in text
+        broken = events + [_span("lost", 0, 0.1, sid="z-1", parent="gone")]
+        assert "unreachable" in format_trace_tree(broken)
+
+    def test_critical_path_formatting(self):
+        text = format_critical_path(_request_trace())
+        assert text.splitlines()[0].startswith("trace t1")
+        assert "%" in text
+
+    def test_trace_list(self):
+        text = format_trace_list(self._groups(), limit=1)
+        assert "more (raise -n)" in text
