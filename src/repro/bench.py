@@ -1,18 +1,24 @@
 """Interpreter throughput benchmark — the ``repro bench`` command.
 
-Runs workload programs under both execution engines (the block-threaded
-default and the per-instruction reference loop), checks that the two
-agree on every observable (counters, output, exit code — the same
-contract the differential oracle in ``tests/interp/test_engine_equiv.py``
-enforces), and reports wall-clock and ops/sec per program.  The result is
-written as ``BENCH_interp.json`` so the interpreter's performance
+Runs workload programs under all three execution engines (the
+per-instruction reference loop, the block-threaded default, and the
+tier-2 specializing engine), checks that they agree on every observable
+(counters, output, exit code — the same contract the differential oracle
+in ``tests/interp/test_engine_equiv.py`` enforces), and reports
+wall-clock, ops/sec, and the speedup of every engine pair.  The result
+is written as ``BENCH_interp.json`` so the interpreter's performance
 trajectory is tracked in-repo; see ``docs/PERFORMANCE.md`` for how to
 read it.
 
 Timing covers interpretation only (compilation is outside the clock).
-Each engine runs ``repeats`` times on the same compiled module and the
-best wall time wins, so the threaded numbers reflect the warm decode
-cache — the steady state the suite runner actually sees.
+Each cached engine gets one untimed warm-up run (the threaded decode
+cache and the tier-2 region cache live on the module and persist across
+runs), then ``repeats`` timed runs; the best wall time wins — the steady
+state the suite runner actually sees.
+
+:func:`check_regression` compares a fresh payload against a committed
+baseline: the per-pair geomean speedups are host-independent ratios, so
+CI can gate on them with a noise tolerance without pinning wall times.
 """
 
 from __future__ import annotations
@@ -31,9 +37,25 @@ from .workloads import all_workloads, get_workload
 #: small-but-representative subset for CI (``repro bench --quick``)
 QUICK_PROGRAMS = ("dhrystone", "fft", "mlink", "tsp")
 
-ENGINES = ("simple", "threaded")
+ENGINES = ("simple", "threaded", "tier2")
 
-BENCH_SCHEMA = 1
+#: engines whose compiled state is cached on the module and survives runs
+_CACHED_ENGINES = frozenset({"threaded", "tier2"})
+
+#: (numerator, denominator) speedup pairs reported in the summary
+ENGINE_PAIRS = (
+    ("threaded", "simple"),
+    ("tier2", "simple"),
+    ("tier2", "threaded"),
+)
+
+BENCH_SCHEMA = 2
+
+
+def _geomean(values: list[float]) -> float:
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
 def bench_interpreters(
@@ -43,13 +65,15 @@ def bench_interpreters(
     max_steps: int = 500_000_000,
     options: PipelineOptions | None = None,
 ) -> dict:
-    """Benchmark both engines over ``names`` (default: all 14 workloads).
+    """Benchmark every engine over ``names`` (default: all 14 workloads).
 
     Returns the ``BENCH_interp.json`` payload: per program and engine,
-    ``{wall_s, total_ops, ops_per_sec, engine, speedup_vs_simple}``.
-    Raises :class:`~repro.errors.ReproError` if the engines disagree on
-    any observable — a benchmark of two engines computing different
-    things would be meaningless.
+    ``{wall_s, total_ops, ops_per_sec, engine, speedup_vs_simple}`` (the
+    tier2 cell also carries ``speedup_vs_threaded``), plus a summary with
+    the geomean/min/max speedup of every engine pair.  Raises
+    :class:`~repro.errors.ReproError` if the engines disagree on any
+    observable — a benchmark of engines computing different things would
+    be meaningless.
     """
     options = options or PipelineOptions()
     workloads = (
@@ -64,6 +88,10 @@ def bench_interpreters(
                 defines=workload.defines,
             ).module
             machine_options = MachineOptions(engine=engine, max_steps=max_steps)
+            if engine in _CACHED_ENGINES:
+                # prime the on-module cache (threaded decode / tier-2
+                # regions) so timed runs measure the steady state
+                Machine(module, machine_options).run()
             best = math.inf
             result = None
             for _ in range(max(repeats, 1)):
@@ -72,43 +100,57 @@ def bench_interpreters(
                 result = machine.run()
                 best = min(best, time.perf_counter() - started)
             runs[engine] = (best, result)
-        simple_wall, simple_run = runs["simple"]
-        threaded_wall, threaded_run = runs["threaded"]
-        if (
-            simple_run.counters != threaded_run.counters
-            or simple_run.output != threaded_run.output
-            or simple_run.exit_code != threaded_run.exit_code
-        ):
-            raise ReproError(
-                f"engines disagree on {workload.name}: "
-                f"simple {simple_run.counters} exit {simple_run.exit_code} vs "
-                f"threaded {threaded_run.counters} exit {threaded_run.exit_code}"
-            )
+        reference = runs["simple"][1]
+        for engine in ENGINES[1:]:
+            run = runs[engine][1]
+            if (
+                reference.counters != run.counters
+                or reference.output != run.output
+                or reference.exit_code != run.exit_code
+            ):
+                raise ReproError(
+                    f"engines disagree on {workload.name}: "
+                    f"simple {reference.counters} exit {reference.exit_code}"
+                    f" vs {engine} {run.counters} exit {run.exit_code}"
+                )
         entry: dict[str, dict] = {}
         for engine in ENGINES:
             wall, run = runs[engine]
-            wall = max(wall, 1e-9)
+            wall = max(round(wall, 6), 1e-6)
             ops = run.counters.total_ops
             entry[engine] = {
-                "wall_s": round(wall, 6),
+                "wall_s": wall,
                 "total_ops": ops,
                 "ops_per_sec": round(ops / wall, 1),
                 "engine": engine,
                 "speedup_vs_simple": 1.0,
             }
-        entry["threaded"]["speedup_vs_simple"] = round(
-            max(simple_wall, 1e-9) / max(threaded_wall, 1e-9), 3
+        simple_wall = entry["simple"]["wall_s"]
+        for engine in ("threaded", "tier2"):
+            entry[engine]["speedup_vs_simple"] = round(
+                simple_wall / entry[engine]["wall_s"], 3
+            )
+        entry["tier2"]["speedup_vs_threaded"] = round(
+            entry["threaded"]["wall_s"] / entry["tier2"]["wall_s"], 3
         )
         programs[workload.name] = entry
 
-    speedups = [
-        entry["threaded"]["speedup_vs_simple"] for entry in programs.values()
-    ]
-    geomean = (
-        math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-        if speedups
-        else 0.0
-    )
+    def pair_speedups(num: str, den: str) -> list[float]:
+        return [
+            max(entry[den]["wall_s"], 1e-9) / max(entry[num]["wall_s"], 1e-9)
+            for entry in programs.values()
+        ]
+
+    speedups_summary: dict[str, dict] = {}
+    for num, den in ENGINE_PAIRS:
+        values = pair_speedups(num, den)
+        speedups_summary[f"{num}_vs_{den}"] = {
+            "geomean": round(_geomean(values), 3),
+            "min": round(min(values), 3) if values else 0.0,
+            "max": round(max(values), 3) if values else 0.0,
+        }
+
+    threaded_pair = speedups_summary["threaded_vs_simple"]
     return {
         "schema": BENCH_SCHEMA,
         "host": host_metadata(),
@@ -117,17 +159,53 @@ def bench_interpreters(
         "programs": programs,
         "summary": {
             "programs": len(programs),
-            "geomean_speedup": round(geomean, 3),
-            "min_speedup": round(min(speedups), 3) if speedups else 0.0,
-            "max_speedup": round(max(speedups), 3) if speedups else 0.0,
-            "total_wall_simple_s": round(
-                sum(e["simple"]["wall_s"] for e in programs.values()), 6
-            ),
-            "total_wall_threaded_s": round(
-                sum(e["threaded"]["wall_s"] for e in programs.values()), 6
-            ),
+            # headline numbers kept from schema 1: threaded vs simple
+            "geomean_speedup": threaded_pair["geomean"],
+            "min_speedup": threaded_pair["min"],
+            "max_speedup": threaded_pair["max"],
+            "speedups": speedups_summary,
+            **{
+                f"total_wall_{engine}_s": round(
+                    sum(e[engine]["wall_s"] for e in programs.values()), 6
+                )
+                for engine in ENGINES
+            },
         },
     }
+
+
+def check_regression(
+    payload: dict, baseline: dict, tolerance_pct: float
+) -> list[str]:
+    """Compare ``payload`` against a committed ``baseline`` payload.
+
+    Gates on the per-pair geomean speedups (host-independent ratios):
+    a pair present in both summaries fails when the fresh geomean drops
+    more than ``tolerance_pct`` percent below the baseline's.  Returns
+    the list of failure messages (empty = no regression).  Baselines
+    from schema 1 (no tier2 column) gate only the pairs they carry.
+    """
+    failures: list[str] = []
+    base_summary = baseline.get("summary", {})
+    base_pairs = dict(base_summary.get("speedups") or {})
+    if not base_pairs and "geomean_speedup" in base_summary:
+        base_pairs["threaded_vs_simple"] = {
+            "geomean": base_summary["geomean_speedup"]
+        }
+    cur_pairs = payload.get("summary", {}).get("speedups", {})
+    for pair, base_cell in sorted(base_pairs.items()):
+        base_geo = float(base_cell.get("geomean", 0.0))
+        cur_cell = cur_pairs.get(pair)
+        if cur_cell is None or base_geo <= 0:
+            continue
+        cur_geo = float(cur_cell["geomean"])
+        floor = base_geo * (1.0 - tolerance_pct / 100.0)
+        if cur_geo < floor:
+            failures.append(
+                f"{pair}: geomean speedup {cur_geo:.3f}x fell below "
+                f"{floor:.3f}x (baseline {base_geo:.3f}x - {tolerance_pct:g}%)"
+            )
+    return failures
 
 
 def format_bench(payload: dict) -> str:
@@ -139,7 +217,9 @@ def format_bench(payload: dict) -> str:
     ]
     for name, entry in payload["programs"].items():
         for engine in ENGINES:
-            cell = entry[engine]
+            cell = entry.get(engine)
+            if cell is None:
+                continue
             lines.append(
                 f"{name:<12} {engine:<9} {cell['wall_s']:>10.4f} "
                 f"{cell['total_ops']:>12} {cell['ops_per_sec']:>14,.0f} "
@@ -147,13 +227,25 @@ def format_bench(payload: dict) -> str:
             )
     summary = payload["summary"]
     lines.append("-" * 70)
-    lines.append(
-        f"geomean speedup {summary['geomean_speedup']:.2f}x over "
-        f"{summary['programs']} program(s) "
-        f"(min {summary['min_speedup']:.2f}x, max {summary['max_speedup']:.2f}x)"
-    )
+    for pair, cell in summary.get("speedups", {}).items():
+        label = pair.replace("_vs_", " vs ")
+        lines.append(
+            f"geomean speedup {label:<20} {cell['geomean']:>6.2f}x "
+            f"(min {cell['min']:.2f}x, max {cell['max']:.2f}x)"
+        )
+    if "speedups" not in summary:
+        lines.append(
+            f"geomean speedup {summary['geomean_speedup']:.2f}x over "
+            f"{summary['programs']} program(s) "
+            f"(min {summary['min_speedup']:.2f}x, "
+            f"max {summary['max_speedup']:.2f}x)"
+        )
     return "\n".join(lines)
 
 
 def write_bench_json(path: str | Path, payload: dict) -> None:
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_bench_json(path: str | Path) -> dict:
+    return json.loads(Path(path).read_text())

@@ -23,11 +23,13 @@ Commands
     Run the suite and diff its metrics against a checked-in baseline;
     non-zero exit on gated regressions.  ``--update`` re-baselines.
 ``bench [PROGRAM ...]``
-    Time the benchmark programs under both interpreter engines and write
-    ``BENCH_interp.json`` (``--quick`` for the CI subset).
+    Time the benchmark programs under all three interpreter engines and
+    write ``BENCH_interp.json`` with per-pair geomean speedups
+    (``--quick`` for the CI subset; ``--baseline``/``--tolerance`` gate
+    against a committed run).
 ``fuzz``
     Generative differential testing: random C programs through the
-    multi-level oracle (-O0 / full ± promotion / pointer, both engines)
+    multi-level oracle (-O0 / full ± promotion / pointer, every engine)
     until the ``--budget`` is spent; divergences are delta-reduced and
     recorded as artifacts (see ``docs/FUZZING.md``).
 ``serve``
@@ -39,9 +41,10 @@ Commands
     Drive a running server with a configurable concurrency/duration/
     program-mix campaign and write ``BENCH_serve.json``.
 
-Commands that execute programs accept ``--engine threaded|simple`` to
-pick the interpreter engine (default: the block-threaded one; both
-produce bit-identical counters and output).
+Commands that execute programs accept ``--engine threaded|simple|tier2``
+to pick the interpreter engine (default: the block-threaded one; all
+three produce bit-identical counters and output — ``tier2`` adds the
+specializing superblock tier on top of threaded execution).
 
 Global ``-v``/``-vv`` raise log verbosity (INFO/DEBUG); ``-q`` silences
 warnings.  The flags are accepted both before and after the subcommand.
@@ -78,9 +81,9 @@ def _pipeline_options(args: argparse.Namespace) -> PipelineOptions:
 def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine",
-        choices=["threaded", "simple"],
+        choices=["threaded", "simple", "tier2"],
         default="threaded",
-        help="interpreter engine (default: threaded; both are bit-identical)",
+        help="interpreter engine (default: threaded; all are bit-identical)",
     )
 
 
@@ -329,7 +332,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from .bench import (
         QUICK_PROGRAMS,
         bench_interpreters,
+        check_regression,
         format_bench,
+        load_bench_json,
         write_bench_json,
     )
     from .workloads import workload_names
@@ -341,12 +346,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"unknown workloads: {unknown}", file=sys.stderr)
             print(f"available: {workload_names()}", file=sys.stderr)
             return 2
+    baseline = None
+    if args.baseline:
+        try:
+            baseline = load_bench_json(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read baseline {args.baseline}: {exc}", file=sys.stderr)
+            return 2
     payload = bench_interpreters(
         names, repeats=args.repeats, max_steps=args.max_steps
     )
     print(format_bench(payload))
     write_bench_json(args.out, payload)
     print(f"wrote {args.out}", file=sys.stderr)
+    if baseline is not None:
+        failures = check_regression(payload, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"bench regression: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.baseline} "
+            f"(tolerance {args.tolerance:g}%)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -476,6 +499,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         drain_on_finish=args.drain,
         out=args.out,
         trace_sample=args.trace_sample,
+        cold_fraction=args.cold_fraction,
+        engine=args.engine,
     )
 
     async def main() -> int:
@@ -717,6 +742,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--max-steps", type=int, default=500_000_000)
     p_bench.add_argument("--out", default="BENCH_interp.json",
                          help="output path (default: BENCH_interp.json)")
+    p_bench.add_argument("--baseline", metavar="FILE",
+                         help="committed BENCH_interp.json to gate against; "
+                              "exit 1 if a per-pair geomean speedup regresses")
+    p_bench.add_argument("--tolerance", type=float, default=25.0,
+                         metavar="PCT",
+                         help="allowed geomean drop vs the baseline before "
+                              "failing, in percent (default 25)")
     p_bench.set_defaults(func=cmd_bench)
 
     p_fuzz = add_command(
@@ -826,6 +858,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="request traces for this fraction of the "
                            "campaign and report per-request latency "
                            "breakdowns (0..1, default 0)")
+    p_lg.add_argument("--cold-fraction", type=float, default=0.0,
+                      metavar="RATE",
+                      help="send this fraction of requests with "
+                           "no_cache: true so they bypass the result "
+                           "cache and do real compile+execute work "
+                           "(0..1, default 0); cold requests are always "
+                           "traced when --trace-sample is set")
+    p_lg.add_argument("--engine", default="threaded",
+                      choices=["threaded", "simple", "tier2"],
+                      help="interpreter engine for the mix cells "
+                           "(default threaded)")
     p_lg.set_defaults(func=cmd_loadgen)
 
     p_tr = add_command(

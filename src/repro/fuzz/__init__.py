@@ -15,8 +15,9 @@ the Csmith-style answer (scaled to our C subset):
     a multi-level differential oracle: each program is compiled at -O0,
     at the full pipeline without/with promotion, and at full + pointer
     analysis + pointer promotion (all with ``verify_each_stage``), each
-    variant runs on both interpreter engines, and every observable —
-    output, exit code, counters, metric invariants — must agree;
+    variant runs on every interpreter engine (simple, threaded, and the
+    tier-2 specializing engine), and every observable — output, exit
+    code, counters, metric invariants — must agree;
 
 :mod:`repro.fuzz.reduce`
     a delta-debugging (ddmin) reducer that shrinks a divergent program

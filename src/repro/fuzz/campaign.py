@@ -135,7 +135,7 @@ def run_campaign(
                 )
             ]
             # a fresh per-batch compile cache bounds memory while letting each
-            # level's engine pair share one compilation (inline runs only)
+            # level's engine set share one compilation (inline runs only)
             outcomes = run_cells(
                 specs,
                 jobs=options.jobs,

@@ -13,17 +13,20 @@ level                 pipeline
 ``pointer``           full + points-to analysis + pointer promotion
 ====================  ====================================================
 
-each × both interpreter engines (``threaded`` and ``simple``), and every
-cell compiled with ``verify_each_stage=True`` so the IR verifier runs
-between passes.  The verdict is built from four invariant families:
+each × every interpreter engine (``threaded``, ``simple``, and the
+tier-2 specializing engine), and every cell compiled with
+``verify_each_stage=True`` so the IR verifier runs between passes.  The
+verdict is built from four invariant families:
 
 * **output equivalence** — every successful cell prints the same bytes
   and exits with the same code;
 * **crash consistency** — if the program traps (guarded UB such as
   division by zero), *every* cell must trap with the same message; a
   trap in some variants only is a miscompile;
-* **engine equivalence** — for each level, the two engines must produce
-  bit-identical counters (the threaded engine's batching contract);
+* **engine equivalence** — for each level, all engines must produce
+  bit-identical counters (the threaded engine's batching contract and
+  the tier-2 engine's exact-deoptimization contract); a violation names
+  the engine pair that split;
 * **counter consistency** — loads/stores breakdowns must sum, and
   disjoint instruction classes cannot exceed ``total_ops``.
 
@@ -53,7 +56,7 @@ from ..pipeline import Analysis, PipelineOptions
 from ..runner.scheduler import CellData, CellFailure, CellSpec, run_cells
 from .gen import FuzzProgram
 
-ENGINES = ("threaded", "simple")
+ENGINES = ("threaded", "simple", "tier2")
 
 #: levels whose dynamic memory traffic the advisory check compares
 _TRAFFIC_PAIR = ("full-nopromo", "full")
@@ -290,6 +293,7 @@ def classify_outcomes(
         first_engine, first = next(iter(counters.items()))
         for engine, other in counters.items():
             if other != first:
+                fields = sorted(k for k in first if first[k] != other.get(k))
                 report.divergences.append(
                     Divergence(
                         kind="engine-divergence",
@@ -297,7 +301,12 @@ def classify_outcomes(
                             f"level {level}: {engine} counters differ "
                             f"from {first_engine}"
                         ),
-                        detail={"level": level, "counters": counters},
+                        detail={
+                            "level": level,
+                            "engines": [first_engine, engine],
+                            "fields": fields,
+                            "counters": counters,
+                        },
                     )
                 )
                 break

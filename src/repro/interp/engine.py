@@ -173,7 +173,17 @@ class DecodedFunction:
 
 
 class DecodedModule:
-    """The decoded program: per-function state plus the baked address maps."""
+    """The decoded program: per-function state plus the baked address maps.
+
+    Subclasses (the tier-2 cache) override :attr:`function_cls` and
+    :attr:`call_executor` — the latter is baked into every compiled
+    block's ``_call`` binding, so callees reached from threaded-decoded
+    blocks enter the same tier as their caller.  Both are assigned after
+    the definitions they name.
+    """
+
+    function_cls: type
+    call_executor: Callable
 
     def __init__(self, module: Module, mem: MemoryImage) -> None:
         self.module = module
@@ -183,8 +193,9 @@ class DecodedModule:
         self.global_addr = dict(mem.global_addr)
         self.string_addr = dict(mem.string_addr)
         self.signature = _module_signature(module)
+        function_cls = type(self).function_cls
         self.functions = {
-            name: DecodedFunction(self, func)
+            name: function_cls(self, func)
             for name, func in module.functions.items()
         }
 
@@ -207,9 +218,11 @@ def get_decoded(module: Module, mem: MemoryImage) -> DecodedModule:
 
 
 def invalidate_decoded(module: Module) -> None:
-    """Drop the decode cache (needed only after in-place instruction
-    field mutation, which the staleness signature cannot see)."""
+    """Drop the decode and tier-2 caches (needed only after in-place
+    instruction field mutation, which the staleness signature cannot
+    see)."""
     module.__dict__.pop("_decoded", None)
+    module.__dict__.pop("_tier2", None)
 
 
 # -- execution ---------------------------------------------------------------
@@ -437,7 +450,7 @@ def _compile_block(df: DecodedFunction, label: str) -> Callable:
     ns: dict[str, Any] = {
         "_binop": _binop,
         "_unop": _unop,
-        "_call": exec_function,
+        "_call": dm.call_executor,
         "_trap_load": _trap_load,
         "_trap_store": _trap_store,
     }
@@ -727,3 +740,7 @@ def _compile_block(df: DecodedFunction, label: str) -> Callable:
     code = compile(src, f"<decoded {func.name}:{label}>", "exec")
     exec(code, ns)
     return ns["_b"]
+
+
+DecodedModule.function_cls = DecodedFunction
+DecodedModule.call_executor = staticmethod(exec_function)

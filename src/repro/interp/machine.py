@@ -9,7 +9,7 @@ The machine is also the *substitute for the paper's hardware testbed*: the
 paper instrumented compiled binaries; we instrument IL execution, which
 measures the same three quantities exactly (and deterministically).
 
-Two execution engines share this measurement contract:
+Three execution engines share this measurement contract:
 
 ``threaded`` (the default)
     The block-threaded engine in :mod:`repro.interp.engine`: each basic
@@ -20,6 +20,14 @@ Two execution engines share this measurement contract:
     exhaustion, and ``block_visits`` under profiling — is bit-identical
     to the reference engine (enforced by the differential oracle in
     ``tests/interp/test_engine_equiv.py``).
+
+``tier2``
+    The specializing tier in :mod:`repro.interp.tier2`: hot regions
+    (whole small functions and natural loops) are template-compiled into
+    single Python functions with virtual registers and promotion-eligible
+    frame slots held in Python locals, deoptimizing exactly to the
+    threaded tier at budget/trap boundaries.  Same bit-identical
+    observable contract, same differential oracle.
 
 ``simple``
     The reference semantics: the per-instruction dispatch loop in
@@ -117,7 +125,9 @@ class MachineOptions:
     #: (off) path allocates nothing and does no per-instruction work
     profile: bool = False
     #: execution engine: ``"threaded"`` (block-threaded, pre-decoded — the
-    #: default) or ``"simple"`` (the per-instruction reference loop)
+    #: default), ``"tier2"`` (the specializing tier: hot regions compiled
+    #: with frame slots promoted to Python locals, threaded elsewhere), or
+    #: ``"simple"`` (the per-instruction reference loop)
     engine: str = "threaded"
 
 
@@ -149,7 +159,7 @@ class Machine:
         if func is None:
             raise InterpError(f"no entry function {entry!r}")
         engine_name = self.options.engine
-        if engine_name not in ("threaded", "simple"):
+        if engine_name not in ("threaded", "tier2", "simple"):
             raise InterpError(f"unknown interpreter engine {engine_name!r}")
         # the interpreter recurses once per interpreted call; make room in
         # the Python stack for the machine's own depth limit, restoring
@@ -166,6 +176,10 @@ class Machine:
                     from . import engine as _engine
 
                     value = _engine.exec_entry(self, func)
+                elif engine_name == "tier2":
+                    from . import tier2 as _tier2
+
+                    value = _tier2.exec_entry(self, func)
                 else:
                     value = self._exec_function(func, [])
                 code = int(value) if isinstance(value, (int, float)) else 0

@@ -63,11 +63,13 @@ class Module:
         self._next_site = 0
 
     def __getstate__(self) -> dict:
-        # the block-threaded interpreter caches compiled closures on the
-        # module (see repro.interp.engine); they are unpicklable and
-        # cheap to rebuild, so drop them from pickles and deep copies
+        # the block-threaded and tier-2 interpreters cache compiled
+        # closures on the module (see repro.interp.engine/tier2); they are
+        # unpicklable and cheap to rebuild, so drop them from pickles and
+        # deep copies
         state = self.__dict__.copy()
         state.pop("_decoded", None)
+        state.pop("_tier2", None)
         return state
 
     # -- functions -------------------------------------------------------

@@ -9,7 +9,11 @@ requests can be in flight at once.
 the server's result cache with every distinct request in the mix, then
 ``concurrency`` workers (one connection each) hammer the mix for
 ``duration_s`` seconds (or exactly ``requests`` requests), recording
-client-observed latency and every error code.  The result — throughput,
+client-observed latency and every error code.  ``cold_fraction`` carves
+out a deterministic slice of requests sent with ``no_cache: true`` —
+they bypass the server's cache read and exercise the full
+compile-and-execute path, so the latency breakdown attributes miss-path
+time even when the rest of the campaign is warm cache hits.  The result — throughput,
 p50/p95/p99, error breakdown, cache/coalesce hit counts, the server's
 own metrics snapshot, and host metadata — is written to
 ``BENCH_serve.json`` so serving performance has an in-repo trajectory
@@ -219,6 +223,15 @@ class LoadgenConfig:
     #: fraction of campaign requests sent with ``trace: true``; their
     #: returned spans feed the per-request latency breakdown
     trace_sample: float = 0.0
+    #: fraction of campaign requests sent with ``no_cache: true`` — a
+    #: cold slice that bypasses the server's result-cache read and does
+    #: real compile+execute work even on a warm cache.  Cold requests
+    #: are always traced (when ``trace_sample`` > 0) so the breakdown's
+    #: compile/execute buckets reflect miss-path latency instead of
+    #: reading all-zero on an all-hits campaign.
+    cold_fraction: float = 0.0
+    #: interpreter engine the mix cells run under (simple/threaded/tier2)
+    engine: str = "threaded"
     out: str | None = "BENCH_serve.json"
 
 
@@ -230,6 +243,7 @@ class _Tally:
     shed: int = 0
     from_cache: int = 0
     coalesced: int = 0
+    cold: int = 0
     by_code: dict[str, int] = field(default_factory=dict)
     #: one attribution dict per sampled request (see repro.trace)
     breakdowns: list[dict] = field(default_factory=list)
@@ -241,6 +255,7 @@ def _mix(config: LoadgenConfig) -> list[dict]:
             "workload": program,
             "variant": variant,
             "max_steps": config.max_steps,
+            "engine": config.engine,
         }
         for program in config.programs
         for variant in config.variants
@@ -305,11 +320,19 @@ async def _campaign_worker(
             elif time.perf_counter() >= stop_at:
                 break
             params = mix[index % len(mix)]
-            # deterministic head sampling over the request index, so a
-            # campaign samples evenly regardless of worker interleaving
-            want_trace = (
-                config.trace_sample > 0
-                and (index * config.trace_sample) % 1.0 < config.trace_sample
+            # deterministic slicing over the request index, so a campaign
+            # spreads its trace sample and cold slice evenly regardless
+            # of worker interleaving
+            want_cold = (
+                config.cold_fraction > 0
+                and (index * config.cold_fraction) % 1.0
+                < config.cold_fraction
+            )
+            if want_cold:
+                params = dict(params, no_cache=True)
+            want_trace = config.trace_sample > 0 and (
+                want_cold
+                or (index * config.trace_sample) % 1.0 < config.trace_sample
             )
             started = time.perf_counter()
             try:
@@ -326,6 +349,8 @@ async def _campaign_worker(
                 )
                 break
             tally.latencies.append(time.perf_counter() - started)
+            if want_cold:
+                tally.cold += 1
             if response.get("ok"):
                 tally.ok += 1
                 result = response["result"]
@@ -414,6 +439,8 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             "deadline_s": config.deadline_s,
             "warmup": config.warmup,
             "trace_sample": config.trace_sample,
+            "cold_fraction": config.cold_fraction,
+            "engine": config.engine,
         },
         "warmup": {"distinct_cells": len(mix), "seconds": round(warmup_s, 3)},
         "totals": {
@@ -423,6 +450,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             "shed": tally.shed,
             "from_cache": tally.from_cache,
             "coalesced": tally.coalesced,
+            "cold": tally.cold,
             "duration_s": round(measured_s, 3),
             "rps": round(tally.ok / measured_s, 1),
         },
@@ -457,7 +485,12 @@ def format_loadgen(payload: dict) -> str:
         f"{totals['rps']:.0f} req/s",
         f"  ok {totals['ok']}  errors {totals['errors']}  "
         f"shed {totals['shed']}  "
-        f"cache-hits {totals['from_cache']}  coalesced {totals['coalesced']}",
+        f"cache-hits {totals['from_cache']}  coalesced {totals['coalesced']}"
+        + (
+            f"  cold {totals['cold']}"
+            if totals.get("cold")
+            else ""
+        ),
         f"  latency ms: p50 {latency['p50']:.2f}  p95 {latency['p95']:.2f}  "
         f"p99 {latency['p99']:.2f}  max {latency['max']:.2f}",
     ]

@@ -191,6 +191,8 @@ def trace_coverage(events: list[SpanEvent]) -> float:
 _BUCKETS = (
     ("queue_wait", "queue"),
     ("cache_lookup", "cache"),
+    ("cache_hit_framing", "cache"),
+    ("cache_write", "cache"),
     ("coalesce_wait", "coalesce"),
     ("compile", "compile"),
     ("parse", "compile"),

@@ -266,6 +266,36 @@ class Trace:
             self._child_time[-1] += seconds
             if sid is not None:
                 self._open_ids.pop()
+            # a block may ask for its own self time to be booked as an
+            # explicit child (``extra["frame_gap"] = name``): the gap is
+            # derived from the same clock read as ``seconds``, so no
+            # scheduling hiccup between a measurement and the span close
+            # can leave unattributed time — this is how the serving layer
+            # keeps a traced request's span coverage at ~100% regardless
+            # of machine load
+            gap_name = extra.pop("frame_gap", None)
+            if gap_name is not None and seconds > child_time:
+                self.events.append(
+                    SpanEvent(
+                        name=str(gap_name),
+                        start=start - self.epoch,
+                        seconds=seconds - child_time,
+                        depth=depth + 1,
+                        self_seconds=seconds - child_time,
+                        trace_id=(
+                            self.context.trace_id if identified else None
+                        ),
+                        span_id=self.new_span_id() if identified else None,
+                        parent_id=sid,
+                        worker=self.worker if identified else None,
+                        wall_start=(
+                            self.wall_epoch + (start - self.epoch)
+                            if identified
+                            else None
+                        ),
+                    )
+                )
+                child_time = seconds
             event_args: dict[str, object] = dict(args)
             if ops_before is not None:
                 ops_after = module_op_count(module)

@@ -105,6 +105,20 @@ class TestClassification:
         report = classify_outcomes(_program(), outcomes)
         assert any(d.kind == "engine-divergence" for d in report.divergences)
 
+    def test_engine_divergence_names_the_pair(self):
+        outcomes = {
+            "full+threaded": _data("full+threaded"),
+            "full+simple": _data("full+simple"),
+            "full+tier2": _data("full+tier2", total_ops=101),
+        }
+        report = classify_outcomes(_program(), outcomes)
+        d = next(
+            d for d in report.divergences if d.kind == "engine-divergence"
+        )
+        assert d.detail["engines"] == ["threaded", "tier2"]
+        assert d.detail["fields"] == ["total_ops"]
+        assert "tier2" in d.message and "threaded" in d.message
+
     def test_counter_invariant_violation_diverges(self):
         outcomes = {"full+threaded": _data("full+threaded", scalar_loads=999)}
         report = classify_outcomes(_program(), outcomes)
@@ -131,6 +145,15 @@ class TestEndToEnd:
         specs = build_oracle_specs("p", "int main(void){return 0;}", config)
         assert len(specs) == len(config.levels) * len(config.engines)
         assert all(spec.options.verify_each_stage for spec in specs)
+
+    def test_matrix_includes_all_three_engines(self):
+        config = OracleConfig()
+        assert set(config.engines) == {"simple", "threaded", "tier2"}
+        specs = build_oracle_specs("p", "int main(void){return 0;}", config)
+        variants = {spec.variant for spec in specs}
+        for level in config.levels:
+            for engine in config.engines:
+                assert f"{level}+{engine}" in variants
 
     def test_o0_disables_everything(self):
         options = o0_options()

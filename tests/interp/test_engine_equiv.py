@@ -1,11 +1,15 @@
-"""Differential oracle: block-threaded engine vs the reference loop.
+"""Differential oracle: every engine vs the reference loop.
 
-The threaded engine's contract is *bit-identical observables* — counters
-(every field), output, exit code, ``block_visits`` under profiling,
-``clock()`` values, traps, and the exact operation count at which
-``max_steps`` exhaustion fires.  These tests enforce the contract over
-the whole 14-program benchmark suite at -O0 and through the full
-pipeline, plus targeted boundary cases the suite cannot hit.
+The engine contract is *bit-identical observables* — counters (every
+field), output, exit code, ``block_visits`` under profiling, ``clock()``
+values, traps, and the exact operation count at which ``max_steps``
+exhaustion fires.  The block-threaded engine must satisfy it through
+batching; the tier-2 specializing engine must satisfy it through exact
+deoptimization of its compiled regions.  These tests enforce the
+contract over the whole 14-program benchmark suite at -O0 and through
+the full pipeline, plus targeted boundary cases the suite cannot hit
+(including the tier-2 deopt edges: ``max_steps`` expiring mid-region,
+traps inside promoted regions, and cache invalidation between runs).
 """
 
 from __future__ import annotations
@@ -38,6 +42,9 @@ FULL = PipelineOptions()
 
 PIPELINES = {"O0": O0, "full": FULL}
 
+#: engines held to the bit-identical contract against "simple"
+ENGINES = ("simple", "threaded", "tier2")
+
 
 def _module(workload, options):
     return compile_source(
@@ -64,12 +71,14 @@ def test_workload_observables_identical(name, pipeline):
     workload = get_workload(name)
     options = PIPELINES[pipeline]
     simple = _run(_module(workload, options), "simple")
-    module = _module(workload, options)
-    threaded = _run(module, "threaded")
-    _assert_identical(simple, threaded, f"{name}/{pipeline}")
-    # a second run on the same module exercises the warm decode cache
-    rerun = _run(module, "threaded")
-    _assert_identical(threaded, rerun, f"{name}/{pipeline} warm rerun")
+    for engine in ("threaded", "tier2"):
+        module = _module(workload, options)
+        run = _run(module, engine)
+        _assert_identical(simple, run, f"{name}/{pipeline}/{engine}")
+        # a second run on the same module exercises the warm caches (the
+        # threaded decode cache / the tier-2 compiled-region cache)
+        rerun = _run(module, engine)
+        _assert_identical(run, rerun, f"{name}/{pipeline}/{engine} warm")
 
 
 class TestMaxStepsExhaustion:
@@ -83,7 +92,7 @@ class TestMaxStepsExhaustion:
     def test_limit_boundary(self):
         fresh = self._modules()
         total = _run(fresh(), "threaded").counters.total_ops
-        for engine in ("simple", "threaded"):
+        for engine in ENGINES:
             # exactly enough steps: completes
             run = _run(fresh(), engine, max_steps=total)
             assert run.counters.total_ops == total
@@ -117,7 +126,7 @@ def test_clock_values_identical():
     }
     """
     outputs = set()
-    for engine in ("simple", "threaded"):
+    for engine in ENGINES:
         module = compile_source(source, FULL).module
         outputs.add(_run(module, engine).output)
     assert len(outputs) == 1
@@ -126,7 +135,7 @@ def test_clock_values_identical():
 def test_trap_identical():
     source = 'int main(void) { int a = 7; int b = 0; printf("%d", a / b); return 0; }'
     messages = set()
-    for engine in ("simple", "threaded"):
+    for engine in ENGINES:
         module = compile_source(source, FULL).module
         with pytest.raises(InterpTrap) as exc:
             _run(module, engine)
@@ -140,7 +149,7 @@ def test_deep_recursion_limit_identical():
     int main(void) { return f(5000); }
     """
     messages = set()
-    for engine in ("simple", "threaded"):
+    for engine in ENGINES:
         module = compile_source(source, O0).module
         with pytest.raises(ResourceLimitError) as exc:
             _run(module, engine)
@@ -192,10 +201,138 @@ class TestDecodeCache:
         assert _run(module, "threaded").output == "8\n"
 
 
+def _tier2_compiled(module) -> bool:
+    """Did the tier-2 engine compile at least one region on ``module``?"""
+    dm = module.__dict__.get("_tier2")
+    if dm is None:
+        return False
+    return any(
+        tf.regions or tf.fresh_off is not None or tf.fresh_on is not None
+        for tf in dm.functions.values()
+    )
+
+
+#: a hot callee (fresh-entry region) plus a hot caller loop — both cross
+#: the tier-2 threshold well before the program's midpoint
+HOT_SOURCE = r"""
+int g;
+int work(int n) {
+    int i; int s = 0;
+    for (i = 0; i < n; i = i + 1) { s = s + i; g = g + 1; }
+    return s;
+}
+int main(void) {
+    int r = 0; int k;
+    for (k = 0; k < 40; k = k + 1) { r = r + work(50); }
+    printf("r=%d g=%d\n", r, g);
+    return 0;
+}
+"""
+
+
+class TestTier2Deopt:
+    """The tier-2 exactness contract at its deoptimization edges: the
+    engine must leave *identical* observables when a compiled region is
+    interrupted (fuel exhaustion, traps) or its cache is torn down
+    (invalidation, pickling) — not merely on clean completions."""
+
+    def test_max_steps_expires_mid_region_with_identical_counters(self):
+        module = compile_source(HOT_SOURCE, FULL).module
+        total = _run(module, "tier2").counters.total_ops
+        assert _tier2_compiled(module)
+        for limit in (total // 2, 2 * total // 3, total - 1):
+            reference = None
+            for engine in ENGINES:
+                fresh = compile_source(HOT_SOURCE, FULL).module
+                machine = Machine(
+                    fresh, MachineOptions(engine=engine, max_steps=limit)
+                )
+                with pytest.raises(ResourceLimitError) as exc:
+                    machine.run()
+                assert str(exc.value) == (
+                    f"exceeded {limit} executed operations"
+                )
+                if engine == "tier2":
+                    # the limit really interrupted compiled code, not a
+                    # cold fallback path
+                    assert _tier2_compiled(fresh)
+                state = machine.counters.as_dict()
+                if reference is None:
+                    reference = state
+                else:
+                    assert state == reference, (engine, limit)
+
+    def test_trap_inside_promoted_region_flushes_state(self):
+        # the loop-local `s` and the induction variable are promoted to
+        # Python locals; the division traps on iteration 50, long after
+        # the region compiled at the hot threshold, so the deopt path
+        # must write the slots and counter deltas back before the trap
+        # surfaces
+        source = r"""
+        int main(void) {
+            int i; int s = 0;
+            for (i = 0; i < 100; i = i + 1) {
+                s = s + 1000 / (50 - i);
+            }
+            printf("s=%d\n", s);
+            return 0;
+        }
+        """
+        states = {}
+        for engine in ENGINES:
+            module = compile_source(source, FULL).module
+            machine = Machine(module, MachineOptions(engine=engine))
+            with pytest.raises(InterpTrap) as exc:
+                machine.run()
+            assert str(exc.value) == "integer division by zero"
+            if engine == "tier2":
+                assert _tier2_compiled(module)
+            states[engine] = machine.counters.as_dict()
+        # post-trap counters follow the threaded engine's batch-charging
+        # semantics (a block's ops are counted before it executes), which
+        # the reference loop does not share; the tier-2 contract is that
+        # its except-path flush lands on *exactly* the threaded state —
+        # promoted slots and counter deltas written back, nothing lost
+        assert states["tier2"] == states["threaded"]
+
+    def test_recursion_into_invalidated_region_recompiles(self):
+        # fib's whole body is an entry-headed candidate region; after
+        # invalidation the next run re-enters it through cold probes
+        # (recursively) and must recompile to the same observables
+        source = r"""
+        int fib(int n) {
+            if (n < 2) { return n; }
+            return fib(n - 1) + fib(n - 2);
+        }
+        int main(void) { printf("%d\n", fib(15)); return 0; }
+        """
+        simple = _run(compile_source(source, FULL).module, "simple")
+        module = compile_source(source, FULL).module
+        first = _run(module, "tier2")
+        _assert_identical(simple, first, "tier2 first run")
+        assert _tier2_compiled(module)
+        invalidate_decoded(module)
+        assert not hasattr(module, "_tier2")
+        again = _run(module, "tier2")
+        _assert_identical(simple, again, "tier2 after invalidation")
+        assert _tier2_compiled(module)
+
+    def test_pickle_and_deepcopy_strip_compiled_regions(self):
+        module = compile_source(HOT_SOURCE, FULL).module
+        reference = _run(module, "tier2")
+        assert _tier2_compiled(module)
+        clone = pickle.loads(pickle.dumps(module))
+        assert not hasattr(clone, "_tier2")
+        _assert_identical(reference, _run(clone, "tier2"), "pickle clone")
+        deep = copy.deepcopy(module)
+        assert not hasattr(deep, "_tier2")
+        _assert_identical(reference, _run(deep, "tier2"), "deepcopy clone")
+
+
 def test_recursion_limit_restored_after_run():
     old = sys.getrecursionlimit()
     module = compile_source("int main(void) { return 0; }", O0).module
-    for engine in ("simple", "threaded"):
+    for engine in ENGINES:
         Machine(module, MachineOptions(engine=engine)).run()
         assert sys.getrecursionlimit() == old
 

@@ -90,6 +90,26 @@ class TestBasicOps:
 
         run_async(scenario())
 
+    def test_every_engine_is_accepted_and_agrees(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                results = {}
+                for engine in ("simple", "threaded", "tier2"):
+                    results[engine] = await client.call(
+                        "run", {"source": FAST_SOURCE, "engine": engine}
+                    )
+                reference = results["simple"]
+                for engine, result in results.items():
+                    assert result["exit_code"] == 0
+                    assert result["counters"] == reference["counters"]
+                with pytest.raises(ServeError) as excinfo:
+                    await client.call(
+                        "run", {"source": FAST_SOURCE, "engine": "jit"}
+                    )
+                assert excinfo.value.code == "invalid_params"
+
+        run_async(scenario())
+
     def test_invalid_params_surface_as_errors(self):
         async def scenario():
             async with serving() as server, connected(server) as client:
@@ -122,6 +142,37 @@ class TestCaching:
                 assert second["counters"] == first["counters"]
                 assert server.metrics.registry.get("serve.cache_hits") == 1
                 assert server.metrics.registry.get("serve.executed") == 1
+
+        run_async(scenario())
+
+    def test_no_cache_bypasses_read_but_still_writes_back(self, tmp_path):
+        async def scenario():
+            async with serving(cache_dir=str(tmp_path)) as server:
+                async with connected(server) as client:
+                    params = {"source": FAST_SOURCE, "name": "cold"}
+                    first = await client.call("run", params)
+                    cold = await client.call(
+                        "run", dict(params, no_cache=True)
+                    )
+                    warm = await client.call("run", params)
+                assert not first["from_cache"]
+                # the cold request recomputed despite the warm cache...
+                assert not cold["from_cache"]
+                assert cold["counters"] == first["counters"]
+                # ...and the follow-up hit proves the write-back stayed
+                assert warm["from_cache"]
+                assert server.metrics.registry.get("serve.executed") == 2
+
+        run_async(scenario())
+
+    def test_no_cache_must_be_boolean(self):
+        async def scenario():
+            async with serving() as server, connected(server) as client:
+                with pytest.raises(ServeError) as excinfo:
+                    await client.call(
+                        "run", {"source": FAST_SOURCE, "no_cache": "yes"}
+                    )
+                assert excinfo.value.code == "invalid_params"
 
         run_async(scenario())
 

@@ -6,8 +6,11 @@ import json
 
 from repro.bench import (
     BENCH_SCHEMA,
+    ENGINE_PAIRS,
+    ENGINES,
     QUICK_PROGRAMS,
     bench_interpreters,
+    check_regression,
     format_bench,
     write_bench_json,
 )
@@ -19,20 +22,37 @@ def test_payload_schema_and_equivalence():
     payload = bench_interpreters(["fft"], repeats=1)
     assert payload["schema"] == BENCH_SCHEMA
     entry = payload["programs"]["fft"]
-    for engine in ("simple", "threaded"):
+    for engine in ENGINES:
         cell = entry[engine]
-        assert set(cell) == {
+        expected_keys = {
             "wall_s", "total_ops", "ops_per_sec", "engine", "speedup_vs_simple"
         }
+        if engine == "tier2":
+            expected_keys.add("speedup_vs_threaded")
+        assert set(cell) == expected_keys
         assert cell["engine"] == engine
         assert cell["wall_s"] > 0
         assert cell["ops_per_sec"] > 0
-    # both engines executed the identical op stream
+    # every engine executed the identical op stream
     assert entry["simple"]["total_ops"] == entry["threaded"]["total_ops"]
+    assert entry["simple"]["total_ops"] == entry["tier2"]["total_ops"]
     assert entry["simple"]["speedup_vs_simple"] == 1.0
     summary = payload["summary"]
     assert summary["programs"] == 1
+    # schema-1 headline numbers are preserved (threaded vs simple)...
     assert summary["geomean_speedup"] == entry["threaded"]["speedup_vs_simple"]
+    # ...and the per-pair summary covers every engine pair
+    assert set(summary["speedups"]) == {
+        f"{num}_vs_{den}" for num, den in ENGINE_PAIRS
+    }
+    for cell in summary["speedups"].values():
+        assert {"geomean", "min", "max"} <= set(cell)
+    assert (
+        summary["speedups"]["tier2_vs_threaded"]["geomean"]
+        == entry["tier2"]["speedup_vs_threaded"]
+    )
+    for engine in ENGINES:
+        assert summary[f"total_wall_{engine}_s"] > 0
 
 
 def test_quick_subset_is_valid():
@@ -51,6 +71,45 @@ def test_format_bench_renders_summary():
     table = format_bench(payload)
     assert "geomean speedup" in table
     assert "fft" in table
+    assert "tier2 vs threaded" in table
+
+
+class TestRegressionGate:
+    def _payload(self, **geomeans) -> dict:
+        return {
+            "summary": {
+                "speedups": {
+                    pair: {"geomean": value, "min": value, "max": value}
+                    for pair, value in geomeans.items()
+                }
+            }
+        }
+
+    def test_no_regression_within_tolerance(self):
+        baseline = self._payload(tier2_vs_threaded=2.0, threaded_vs_simple=4.0)
+        current = self._payload(tier2_vs_threaded=1.9, threaded_vs_simple=3.8)
+        assert check_regression(current, baseline, tolerance_pct=25.0) == []
+
+    def test_regression_past_tolerance_fails_per_pair(self):
+        baseline = self._payload(tier2_vs_threaded=2.0, threaded_vs_simple=4.0)
+        current = self._payload(tier2_vs_threaded=1.0, threaded_vs_simple=3.8)
+        failures = check_regression(current, baseline, tolerance_pct=25.0)
+        assert len(failures) == 1
+        assert "tier2_vs_threaded" in failures[0]
+
+    def test_schema1_baseline_gates_only_threaded_pair(self):
+        baseline = {"summary": {"geomean_speedup": 4.0}}
+        ok = self._payload(threaded_vs_simple=3.9, tier2_vs_threaded=0.1)
+        assert check_regression(ok, baseline, tolerance_pct=25.0) == []
+        bad = self._payload(threaded_vs_simple=1.0, tier2_vs_threaded=0.1)
+        failures = check_regression(bad, baseline, tolerance_pct=25.0)
+        assert len(failures) == 1
+        assert "threaded_vs_simple" in failures[0]
+
+    def test_missing_pair_in_current_is_skipped(self):
+        baseline = self._payload(tier2_vs_threaded=2.0)
+        current = self._payload(threaded_vs_simple=4.0)
+        assert check_regression(current, baseline, tolerance_pct=25.0) == []
 
 
 def test_cli_bench_writes_json(tmp_path, capsys):
@@ -60,6 +119,32 @@ def test_cli_bench_writes_json(tmp_path, capsys):
     payload = json.loads(out.read_text())
     assert "fft" in payload["programs"]
     assert "geomean speedup" in capsys.readouterr().out
+
+
+def test_cli_bench_gates_against_baseline(tmp_path, capsys):
+    out = tmp_path / "BENCH_interp.json"
+    baseline = tmp_path / "baseline.json"
+    # an impossible baseline: tier2 would need a 1000x geomean
+    baseline.write_text(json.dumps({
+        "summary": {"speedups": {"tier2_vs_threaded": {"geomean": 1000.0}}}
+    }))
+    code = main([
+        "bench", "fft", "--repeats", "1", "--out", str(out),
+        "--baseline", str(baseline), "--tolerance", "25",
+    ])
+    assert code == 1
+    assert "bench regression" in capsys.readouterr().err
+
+    # a trivially satisfiable baseline passes
+    baseline.write_text(json.dumps({
+        "summary": {"speedups": {"tier2_vs_threaded": {"geomean": 0.001}}}
+    }))
+    code = main([
+        "bench", "fft", "--repeats", "1", "--out", str(out),
+        "--baseline", str(baseline), "--tolerance", "25",
+    ])
+    assert code == 0
+    assert "no regression" in capsys.readouterr().err
 
 
 def test_cli_bench_rejects_unknown_workload(tmp_path):
