@@ -1,0 +1,62 @@
+"""``repro.chaos`` — deterministic, seed-driven fault injection.
+
+The serving stack (:mod:`repro.serve`) survives worker crashes,
+deadlines, queue pressure, and torn connections — but until this
+package, that failure space was only explored by a handful of
+hand-written crash tests.  ``repro.chaos`` makes *operational*
+correctness a searchable space the same way :mod:`repro.fuzz` did for
+compiler correctness: every fault is decided by a pure function of a
+seed, so a failing campaign replays exactly from its seed.
+
+Modules:
+
+* :mod:`~repro.chaos.plan` — :class:`FaultPlan`: the closed registry of
+  injection sites, per-site rates, and the deterministic decision
+  function (seed × site × token × occurrence → fault or not);
+* :mod:`~repro.chaos.inject` — enactment helpers: worker-side fault
+  execution (crash/hang/slow-start), cache corruption/eviction,
+  response-frame mangling;
+* :mod:`~repro.chaos.soak` — the ``repro chaos soak`` harness: a
+  chaos-enabled in-process server under deterministic load, asserting
+  the invariant contract (every request resolves to ok / a
+  closed-vocabulary error / an explicit shed; no leaked workers; a
+  flight bundle per injected crash) and writing ``CHAOS_REPORT.json``.
+
+The plan layer is deliberately serve-agnostic — any component with a
+stable token for its decision points (the batch :mod:`repro.runner`
+included) can consult a :class:`FaultPlan` the same way.
+
+See ``docs/CHAOS.md`` for plan grammar, seeds, and replay.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "SITES",
+    "SoakConfig",
+    "format_soak_report",
+    "run_soak",
+]
+
+_LAZY = {
+    "FaultPlan": "plan",
+    "FaultSpec": "plan",
+    "SITES": "plan",
+    "SoakConfig": "soak",
+    "format_soak_report": "soak",
+    "run_soak": "soak",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -442,7 +442,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         flight_capacity=args.flight_capacity,
         artifacts_dir=args.artifacts_dir,
         drain_timeout_s=args.drain_timeout,
+        chaos_plan=args.chaos_plan,
     )
+
+    if config.chaos_plan is not None:
+        from .chaos import FaultPlan
+
+        try:
+            config.chaos_plan = FaultPlan.parse(config.chaos_plan)
+        except ValueError as error:
+            print(f"bad --chaos-plan: {error}", file=sys.stderr)
+            return 2
 
     async def main() -> int:
         server = ReproServer(config)
@@ -452,10 +462,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             loop.add_signal_handler(
                 signum, lambda: loop.create_task(server.drain())
             )
+        chaos_note = (
+            f", chaos {config.chaos_plan.spec()}"
+            if config.chaos_plan is not None
+            else ""
+        )
         print(
             f"repro-serve listening on {config.host}:{server.port} "
             f"({config.workers} workers, queue limit {config.queue_limit}, "
-            f"cache {'off' if config.cache_dir is None else config.cache_dir})",
+            f"cache {'off' if config.cache_dir is None else config.cache_dir}"
+            f"{chaos_note})",
             file=sys.stderr,
             flush=True,
         )
@@ -501,6 +517,8 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         cold_fraction=args.cold_fraction,
         engine=args.engine,
+        resilient=args.resilient,
+        hedge=args.hedge,
     )
 
     async def main() -> int:
@@ -513,6 +531,39 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         return 1 if payload["totals"]["errors"] else 0
 
     return asyncio.run(main())
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import SITES, SoakConfig, format_soak_report, run_soak
+
+    if args.sites:
+        unknown = sorted(set(args.sites) - set(SITES))
+        if unknown:
+            print(f"unknown chaos sites: {unknown}", file=sys.stderr)
+            print(f"available: {list(SITES)}", file=sys.stderr)
+            return 2
+    config = SoakConfig(
+        budget=args.budget,
+        seed=_parse_fuzz_seed(args.seed),
+        rate=args.rate,
+        sites=tuple(args.sites) if args.sites else SITES,
+        workers=args.workers,
+        deadline_s=args.deadline,
+        max_steps=args.max_steps,
+        artifacts_dir=args.artifacts,
+        out=args.out,
+    )
+    report = run_soak(config)
+    print(format_soak_report(report))
+    if config.out:
+        print(f"wrote {config.out}", file=sys.stderr)
+    if not report["passed"]:
+        print(
+            f"replay with: repro chaos soak --budget {config.budget} "
+            f"--seed {report['seed']} --rate {config.rate}",
+            file=sys.stderr,
+        )
+    return 0 if report["passed"] else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -825,6 +876,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="hard-stop the pool (and dump the flight "
                             "recorder) if a drain exceeds this")
+    p_srv.add_argument("--chaos-plan", default=None, metavar="SPEC",
+                       help="deterministic fault-injection plan, e.g. "
+                            "'seed=0,rate=0.05' or "
+                            "'seed=7,pool.crash_during=0.2,limit=3' "
+                            "(see docs/CHAOS.md)")
     p_srv.set_defaults(func=cmd_serve)
 
     p_lg = add_command(
@@ -869,7 +925,47 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["threaded", "simple", "tier2"],
                       help="interpreter engine for the mix cells "
                            "(default threaded)")
+    p_lg.add_argument("--resilient", action="store_true",
+                      help="drive through the ResilientClient: retries "
+                           "with backoff, per-host circuit breaker, "
+                           "idempotency keys; adds a resilience section "
+                           "to BENCH_serve.json")
+    p_lg.add_argument("--hedge", action="store_true",
+                      help="with --resilient: fire a backup request "
+                           "once the primary exceeds the rolling p95")
     p_lg.set_defaults(func=cmd_loadgen)
+
+    p_chaos = add_command(
+        "chaos", "deterministic fault-injection campaigns against serve"
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_mode", required=True)
+    p_soak = chaos_sub.add_parser(
+        "soak",
+        help="run a seeded soak campaign and assert the invariant "
+             "contract; writes CHAOS_REPORT.json",
+    )
+    p_soak.add_argument("--budget", type=int, default=60, metavar="N",
+                        help="number of probes (default 60)")
+    p_soak.add_argument("--seed", default="0",
+                        help="fault-schedule seed; decimal, or any "
+                             "string (e.g. a git SHA) hashed to one")
+    p_soak.add_argument("--rate", type=float, default=0.05,
+                        help="per-site injection rate (default 0.05)")
+    p_soak.add_argument("--sites", nargs="*", default=None,
+                        help="sites to enable (default: all)")
+    p_soak.add_argument("--workers", type=int, default=2)
+    p_soak.add_argument("--deadline", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="per-probe deadline (default 5)")
+    p_soak.add_argument("--max-steps", type=int, default=2_000_000,
+                        help="interpreter fuel per probe cell "
+                             "(default 2M: fast but real work)")
+    p_soak.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="keep crash bundles here (default: temp "
+                             "dir, preserved only on failure)")
+    p_soak.add_argument("--out", default="CHAOS_REPORT.json",
+                        help="report path (default: CHAOS_REPORT.json)")
+    p_soak.set_defaults(func=cmd_chaos)
 
     p_tr = add_command(
         "trace", "inspect an exported span stream (JSONL)"

@@ -18,8 +18,13 @@ Modules:
 * :mod:`~repro.serve.metrics` — latency histograms over the
   :mod:`repro.diag` registry;
 * :mod:`~repro.serve.server` — the asyncio server and endpoint logic;
-* :mod:`~repro.serve.client` — pipelining client + the ``repro
-  loadgen`` campaign harness.
+* :mod:`~repro.serve.resilience` — retry policy, circuit breaker, and
+  latency tracking behind the resilient client;
+* :mod:`~repro.serve.client` — pipelining client, the self-healing
+  :class:`ResilientClient`, + the ``repro loadgen`` campaign harness.
+
+Fault injection for all of the above lives in :mod:`repro.chaos`; the
+server takes a plan via ``ServerConfig.chaos_plan``.
 
 See ``docs/SERVING.md`` for the protocol spec and the ops runbook.
 """
@@ -28,9 +33,12 @@ from __future__ import annotations
 
 __all__ = [
     "AdmissionQueue",
+    "CircuitBreaker",
     "LatencyHistogram",
     "LoadgenConfig",
     "ReproServer",
+    "ResilientClient",
+    "RetryPolicy",
     "ServeClient",
     "ServeError",
     "ServeMetrics",
@@ -43,9 +51,12 @@ __all__ = [
 
 _LAZY = {
     "AdmissionQueue": "queue",
+    "CircuitBreaker": "resilience",
     "LatencyHistogram": "metrics",
     "LoadgenConfig": "client",
     "ReproServer": "server",
+    "ResilientClient": "client",
+    "RetryPolicy": "resilience",
     "ServeClient": "client",
     "ServeError": "client",
     "ServeMetrics": "metrics",

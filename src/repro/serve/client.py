@@ -33,11 +33,19 @@ from ..bench import QUICK_PROGRAMS
 from ..diag.host import host_metadata
 from ..diag.log import get_logger
 from .protocol import encode_frame
+from .resilience import (
+    CircuitBreaker,
+    CircuitOpen,
+    LatencyTracker,
+    ResilienceStats,
+    RetryPolicy,
+)
 
 _log = get_logger(__name__)
 
 __all__ = [
     "LoadgenConfig",
+    "ResilientClient",
     "ServeClient",
     "ServeError",
     "format_loadgen",
@@ -46,7 +54,7 @@ __all__ = [
     "write_loadgen_json",
 ]
 
-LOADGEN_SCHEMA = 1
+LOADGEN_SCHEMA = 2  # v2: totals/resilience record retry+hedge behaviour
 
 #: error codes that indicate deliberate load shedding rather than a
 #: broken request or server — loadgen reports them separately
@@ -97,12 +105,15 @@ class ServeClient:
         deadline_s: float | None = None,
         priority: str | None = None,
         trace: bool = False,
+        idempotency_key: str | None = None,
     ) -> dict:
         """Send one request, await its response frame (the full dict).
 
         ``trace=True`` asks the server for a sampled trace: the result
         carries ``trace.trace_id`` and ``trace.spans`` (see
-        :mod:`repro.trace`).
+        :mod:`repro.trace`).  ``idempotency_key`` names the logical
+        request so a retry single-flights onto the original computation
+        server-side instead of queueing duplicate work.
         """
         request_id = next(self._ids)
         frame: dict = {"id": request_id, "op": op}
@@ -114,6 +125,8 @@ class ServeClient:
             frame["priority"] = priority
         if trace:
             frame["trace"] = True
+        if idempotency_key is not None:
+            frame["idempotency_key"] = idempotency_key
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         async with self._write_lock:
@@ -129,10 +142,16 @@ class ServeClient:
         deadline_s: float | None = None,
         priority: str | None = None,
         trace: bool = False,
+        idempotency_key: str | None = None,
     ) -> dict:
         """Like :meth:`request` but unwraps: result dict or ServeError."""
         response = await self.request(
-            op, params, deadline_s=deadline_s, priority=priority, trace=trace
+            op,
+            params,
+            deadline_s=deadline_s,
+            priority=priority,
+            trace=trace,
+            idempotency_key=idempotency_key,
         )
         if not response.get("ok"):
             error = response.get("error", {})
@@ -175,6 +194,228 @@ class ServeClient:
                         ConnectionError("server closed the connection")
                     )
             self._pending.clear()
+
+
+def _consume_result(task: asyncio.Task) -> None:
+    """Swallow results/exceptions of abandoned hedge tasks."""
+    if not task.cancelled():
+        task.exception()
+
+
+class ResilientClient:
+    """A self-healing wrapper around :class:`ServeClient`.
+
+    What it adds on top of the raw client, in order of engagement:
+
+    * **retries** — errors in the closed retryable vocabulary
+      (:data:`~repro.serve.resilience.RETRYABLE_CODES`) and transport
+      failures are retried with jittered exponential backoff, up to the
+      policy's attempt budget; the connection is re-established after a
+      transport failure;
+    * **idempotency keys** — every logical request carries one (caller
+      supplied, else auto-generated), so a retry single-flights onto the
+      original computation server-side instead of duplicating work;
+    * **circuit breaker** — consecutive failures trip it; while open,
+      :meth:`request` sheds immediately with :class:`CircuitOpen`
+      (a *client-side* explicit shed) instead of piling onto a sick
+      server; a half-open probe re-closes it;
+    * **hedging** (opt-in) — once the latency tracker has samples, a
+      request that outlives the observed p95 fires one backup carrying
+      the same idempotency key; first response wins, the loser is
+      cancelled.  Coalescing makes the backup nearly free when the
+      primary is merely slow rather than lost.
+
+    ``clock``, ``sleep`` and ``connect`` are injectable so the whole
+    state machine runs under a fake clock in tests — zero real sleeps.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7411,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        hedge: bool = False,
+        hedge_min_delay_s: float = 0.01,
+        latency: LatencyTracker | None = None,
+        clock=time.perf_counter,
+        sleep=None,
+        connect=None,
+        key_prefix: str | None = None,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retry = retry or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.hedge = hedge
+        self.hedge_min_delay_s = hedge_min_delay_s
+        self.latency = latency or LatencyTracker()
+        self.stats = ResilienceStats()
+        self._clock = clock
+        self._sleep = sleep or asyncio.sleep
+        self._connect = connect or ServeClient.connect
+        self._client = None
+        if key_prefix is None:
+            import os
+
+            key_prefix = os.urandom(4).hex()
+        self._key_prefix = key_prefix
+        self._key_counter = itertools.count(1)
+        self._connected_once = False
+
+    async def _ensure_client(self):
+        if self._client is None:
+            self._client = await self._connect(self.host, self.port)
+            if self._connected_once:
+                self.stats.reconnects += 1
+            self._connected_once = True
+        return self._client
+
+    async def _drop_client(self) -> None:
+        client, self._client = self._client, None
+        if client is not None:
+            try:
+                await client.close()
+            except Exception:
+                pass
+
+    async def close(self) -> None:
+        await self._drop_client()
+
+    async def request(
+        self,
+        op: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+        priority: str | None = None,
+        trace: bool = False,
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """One *logical* request: retried, hedged, breaker-gated.
+
+        Returns the winning response frame.  Raises :class:`CircuitOpen`
+        when the breaker sheds the request client-side, or the final
+        transport error when every attempt lost its connection.
+        """
+        key = (
+            idempotency_key
+            or f"{self._key_prefix}-{next(self._key_counter)}"
+        )
+        for attempt in range(1, self.retry.max_attempts + 1):
+            if not self.breaker.allow():
+                self.stats.breaker_open += 1
+                raise CircuitOpen(
+                    f"circuit breaker open for {self.host}:{self.port}"
+                )
+            self.stats.attempts += 1
+            started = self._clock()
+            try:
+                response = await self._send_once(
+                    op, params, deadline_s, priority, trace, key
+                )
+            except (ConnectionError, OSError):
+                self.breaker.record_failure()
+                await self._drop_client()
+                if attempt >= self.retry.max_attempts:
+                    raise
+                self.stats.record_retry("connection_lost")
+                await self._sleep(self.retry.delay_s(attempt))
+                continue
+            if response.get("ok"):
+                self.breaker.record_success()
+                self.latency.record(self._clock() - started)
+                return response
+            code = response.get("error", {}).get("code", "internal")
+            if self.retry.retryable(code):
+                self.breaker.record_failure()
+                if attempt >= self.retry.max_attempts:
+                    return response
+                self.stats.record_retry(code)
+                await self._sleep(self.retry.delay_s(attempt))
+                continue
+            # a definitive answer (bad request, cell failure, draining):
+            # the host is healthy, retrying would only repeat it
+            self.breaker.record_success()
+            return response
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def call(
+        self,
+        op: str,
+        params: dict | None = None,
+        *,
+        deadline_s: float | None = None,
+        priority: str | None = None,
+        trace: bool = False,
+        idempotency_key: str | None = None,
+    ) -> dict:
+        """Like :meth:`request` but unwraps: result dict or ServeError."""
+        response = await self.request(
+            op,
+            params,
+            deadline_s=deadline_s,
+            priority=priority,
+            trace=trace,
+            idempotency_key=idempotency_key,
+        )
+        if not response.get("ok"):
+            error = response.get("error", {})
+            raise ServeError(
+                error.get("code", "internal"), error.get("message", "")
+            )
+        return response["result"]
+
+    async def _send_once(
+        self, op, params, deadline_s, priority, trace, key
+    ) -> dict:
+        """One attempt, hedged when enabled and a p95 exists."""
+        client = await self._ensure_client()
+
+        def send() -> asyncio.Task:
+            return asyncio.ensure_future(
+                client.request(
+                    op,
+                    params,
+                    deadline_s=deadline_s,
+                    priority=priority,
+                    trace=trace,
+                    idempotency_key=key,
+                )
+            )
+
+        if not self.hedge:
+            return await send()
+        p95 = self.latency.p95()
+        if p95 is None:
+            return await send()
+        primary = send()
+        # never wait_for: the delay must run through the injected sleep
+        # so fake-clock tests control it
+        timer = asyncio.ensure_future(
+            self._sleep(max(p95, self.hedge_min_delay_s))
+        )
+        done, _ = await asyncio.wait(
+            {primary, timer}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if primary in done:
+            timer.cancel()
+            return primary.result()
+        self.stats.hedged += 1
+        # same idempotency key: the backup coalesces onto the primary's
+        # computation server-side instead of doubling the work
+        backup = send()
+        done, pending = await asyncio.wait(
+            {primary, backup}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if backup in done and primary not in done:
+            self.stats.hedge_wins += 1
+        winner = backup if backup in done else primary
+        for task in pending:
+            task.cancel()
+            task.add_done_callback(_consume_result)
+        return winner.result()
 
 
 async def wait_for_server(
@@ -232,6 +473,12 @@ class LoadgenConfig:
     cold_fraction: float = 0.0
     #: interpreter engine the mix cells run under (simple/threaded/tier2)
     engine: str = "threaded"
+    #: drive the campaign through :class:`ResilientClient` — retries,
+    #: idempotency keys, circuit breaker; the payload's ``resilience``
+    #: section records what the client layer absorbed
+    resilient: bool = False
+    #: with ``resilient``, also hedge requests past the observed p95
+    hedge: bool = False
     out: str | None = "BENCH_serve.json"
 
 
@@ -247,6 +494,8 @@ class _Tally:
     by_code: dict[str, int] = field(default_factory=dict)
     #: one attribution dict per sampled request (see repro.trace)
     breakdowns: list[dict] = field(default_factory=list)
+    #: per-worker ResilienceStats dicts (resilient campaigns only)
+    resilience: list[dict] = field(default_factory=list)
 
 
 def _mix(config: LoadgenConfig) -> list[dict]:
@@ -310,7 +559,12 @@ async def _campaign_worker(
     stop_at: float,
     tally: _Tally,
 ) -> None:
-    client = await ServeClient.connect(config.host, config.port)
+    if config.resilient:
+        client = ResilientClient(
+            config.host, config.port, hedge=config.hedge
+        )
+    else:
+        client = await ServeClient.connect(config.host, config.port)
     try:
         while True:
             index = next(counter)
@@ -341,12 +595,26 @@ async def _campaign_worker(
                     params,
                     deadline_s=config.deadline_s,
                     trace=want_trace,
+                    idempotency_key=(
+                        f"lg-{index}" if config.resilient else None
+                    ),
                 )
+            except CircuitOpen:
+                # client-side shed: counted like the server's explicit
+                # back-pressure answers, not as an unexplained error
+                tally.shed += 1
+                tally.by_code["circuit_open"] = (
+                    tally.by_code.get("circuit_open", 0) + 1
+                )
+                continue
             except ConnectionError:
                 tally.errors += 1
                 tally.by_code["connection_lost"] = (
                     tally.by_code.get("connection_lost", 0) + 1
                 )
+                if config.resilient:
+                    # retries are exhausted; move on rather than give up
+                    continue
                 break
             tally.latencies.append(time.perf_counter() - started)
             if want_cold:
@@ -369,6 +637,8 @@ async def _campaign_worker(
                 else:
                     tally.errors += 1
     finally:
+        if config.resilient:
+            tally.resilience.append(client.stats.as_dict())
         await client.close()
 
 
@@ -425,6 +695,7 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
 
     ordered = sorted(tally.latencies)
     total = tally.ok + tally.errors + tally.shed
+    resilience = _aggregate_resilience(tally.resilience)
     payload = {
         "schema": LOADGEN_SCHEMA,
         "host": host_metadata(),
@@ -441,6 +712,8 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             "trace_sample": config.trace_sample,
             "cold_fraction": config.cold_fraction,
             "engine": config.engine,
+            "resilient": config.resilient,
+            "hedge": config.hedge,
         },
         "warmup": {"distinct_cells": len(mix), "seconds": round(warmup_s, 3)},
         "totals": {
@@ -451,9 +724,13 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
             "from_cache": tally.from_cache,
             "coalesced": tally.coalesced,
             "cold": tally.cold,
+            "retried": resilience["retried"],
+            "hedged": resilience["hedged"],
+            "breaker_open": resilience["breaker_open"],
             "duration_s": round(measured_s, 3),
             "rps": round(tally.ok / measured_s, 1),
         },
+        "resilience": resilience,
         "errors_by_code": dict(sorted(tally.by_code.items())),
         "latency_ms": {
             "p50": round(_percentile(ordered, 0.50) * 1000, 3),
@@ -470,6 +747,23 @@ async def run_loadgen(config: LoadgenConfig) -> dict:
     if config.out:
         write_loadgen_json(config.out, payload)
     return payload
+
+
+def _aggregate_resilience(per_worker: list[dict]) -> dict:
+    """Sum the per-connection ResilienceStats into one campaign view."""
+    totals = ResilienceStats()
+    for stats in per_worker:
+        totals.attempts += stats["attempts"]
+        totals.retried += stats["retried"]
+        totals.hedged += stats["hedged"]
+        totals.hedge_wins += stats["hedge_wins"]
+        totals.reconnects += stats["reconnects"]
+        totals.breaker_open += stats["breaker_open"]
+        for code, count in stats["retries_by_code"].items():
+            totals.retries_by_code[code] = (
+                totals.retries_by_code.get(code, 0) + count
+            )
+    return totals.as_dict()
 
 
 def write_loadgen_json(path: str | Path, payload: dict) -> None:
@@ -500,6 +794,15 @@ def format_loadgen(payload: dict) -> str:
             for code, count in payload["errors_by_code"].items()
         )
         lines.append(f"  error codes: {codes}")
+    resilience = payload.get("resilience", {})
+    if resilience.get("attempts"):
+        lines.append(
+            f"  resilience: retried {resilience['retried']}  "
+            f"hedged {resilience['hedged']} "
+            f"(won {resilience['hedge_wins']})  "
+            f"breaker-open {resilience['breaker_open']}  "
+            f"reconnects {resilience['reconnects']}"
+        )
     warmup = payload["warmup"]
     if warmup["seconds"]:
         lines.append(

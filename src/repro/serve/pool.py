@@ -40,7 +40,9 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import multiprocessing
+import os
 import signal
+import stat
 import time
 import traceback
 
@@ -166,19 +168,57 @@ def _handle_job(job: dict, compile_cache: dict, worker_index: int = 0) -> dict:
     raise ValueError(f"unknown job kind {kind!r}")
 
 
-def worker_main(conn, worker_index: int = 0, verbosity: int | None = None) -> None:
+def _close_inherited_sockets(keep_fd: int) -> None:
+    """Close every socket fd a forked child inherited except ``keep_fd``.
+
+    Only sockets: the parent's listening socket and accepted client
+    connections are the fds whose inherited dups change kernel-visible
+    behaviour (no FIN on close, port staying bound after parent death).
+    Pipes and the event loop's epoll fd are inert in the child.  The job
+    pipe itself is a Unix socketpair, hence the explicit keep.
+    """
+    try:
+        fd_names = os.listdir("/proc/self/fd")
+    except OSError:  # pragma: no cover - no procfs (non-Linux POSIX)
+        return
+    for name in fd_names:
+        fd = int(name)
+        if fd == keep_fd or fd < 3:
+            continue
+        try:
+            if stat.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:  # pragma: no cover - raced with the listdir
+            continue
+
+
+def worker_main(
+    conn,
+    worker_index: int = 0,
+    verbosity: int | None = None,
+    slow_start_s: float = 0.0,
+) -> None:
     """Child entry point: serve jobs from the pipe until told to stop.
 
     ``verbosity`` is the parent's global ``-v/-vv/-q`` level at spawn
     time; worker records are re-formatted with the worker id and the
     trace id of the job in flight (``-`` when untraced).
+    ``slow_start_s`` is the chaos layer's ``pool.slow_start`` fault: the
+    worker sleeps that long before serving its first job.
     """
     # the server handles SIGINT/SIGTERM itself and drains; a stray
     # terminal Ctrl-C must not take the workers down mid-cell
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # a fork-context child inherits every parent fd, including live TCP
+    # connections: while this worker is alive, a connection the server
+    # closes would never FIN (the child's dup keeps it open) and the
+    # client would wait forever.  Drop everything except the job pipe.
+    _close_inherited_sockets(keep_fd=conn.fileno())
     from ..diag.log import setup_worker_logging
 
     setup_worker_logging(worker_index, verbosity)
+    if slow_start_s > 0:
+        time.sleep(slow_start_s)
     # pre-import the execution stack while the worker is still idle so
     # the first job it handles (and its trace) doesn't pay module load
     from ..runner import scheduler  # noqa: F401
@@ -194,6 +234,16 @@ def worker_main(conn, worker_index: int = 0, verbosity: int | None = None) -> No
         ctx = job.get("trace_ctx") if isinstance(job, dict) else None
         set_log_context(trace_id=ctx["trace_id"] if ctx else "-")
         try:
+            chaos = job.pop("_chaos", None) if isinstance(job, dict) else None
+            if chaos is not None:
+                from ..chaos.inject import enact_worker_fault
+
+                # crash shapes never return; hang sleeps until the
+                # parent's deadline reaper kills this process
+                enact_worker_fault(
+                    chaos,
+                    lambda: _handle_job(job, compile_cache, worker_index),
+                )
             result = _handle_job(job, compile_cache, worker_index)
             reply = {"ok": True, "result": result}
         except Exception as error:
@@ -231,14 +281,14 @@ def _consume_exception(future) -> None:
 class _WorkerHandle:
     """One child process plus its parent-side pipe end."""
 
-    def __init__(self, ctx, index: int = 0) -> None:
+    def __init__(self, ctx, index: int = 0, slow_start_s: float = 0.0) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         self.conn = parent_conn
         # capture the parent's -v/-vv/-q level at spawn so the child
         # re-applies it after the fork
         self.process = ctx.Process(
             target=worker_main,
-            args=(child_conn, index, current_verbosity()),
+            args=(child_conn, index, current_verbosity(), slow_start_s),
             daemon=True,
         )
         self.process.start()
@@ -295,6 +345,8 @@ class WorkerPool:
         recycle_after: int = DEFAULT_RECYCLE_AFTER,
         metrics: ServeMetrics | None = None,
         mp_context=None,
+        chaos=None,
+        on_replace=None,
     ) -> None:
         self.queue = queue
         self.size = max(1, size)
@@ -304,18 +356,42 @@ class WorkerPool:
         self.slots: list[_Slot] = []
         self._drivers: list[asyncio.Task] = []
         self._hard_stop = False
+        #: optional :class:`repro.chaos.FaultPlan`; every hook below is
+        #: behind ``chaos is not None`` so a plain pool pays nothing
+        self.chaos = chaos
+        #: ``on_replace(reason, trace)`` fires after a worker is killed
+        #: and respawned — the server uses it to dump a flight bundle
+        #: per crash
+        self.on_replace = on_replace
+        #: every worker pid this pool ever spawned — the soak harness's
+        #: leak check walks this after drain
+        self.spawned_pids: set[int] = set()
+        self._state_waiters: list[tuple[object, asyncio.Future]] = []
 
     # -- lifecycle ---------------------------------------------------------
 
     async def start(self) -> None:
         self.slots = [
-            _Slot(index, _WorkerHandle(self.ctx, index)) for index in range(self.size)
+            _Slot(index, self._spawn(index)) for index in range(self.size)
         ]
         self._drivers = [
             asyncio.create_task(self._drive(slot), name=f"serve-worker-{slot.index}")
             for slot in self.slots
         ]
         self._update_gauges()
+
+    def _spawn(self, index: int) -> _WorkerHandle:
+        """Spawn one worker, applying a ``pool.slow_start`` fault if the
+        plan decides one for this slot's spawn."""
+        slow_start_s = 0.0
+        if self.chaos is not None:
+            fault = self.chaos.decide("pool.slow_start", f"w{index}")
+            if fault is not None:
+                slow_start_s = fault.delay_s
+                self.metrics.inc("chaos.injected.pool.slow_start")
+        worker = _WorkerHandle(self.ctx, index, slow_start_s)
+        self.spawned_pids.add(worker.pid)
+        return worker
 
     async def drain(self) -> None:
         """Finish in-flight work, shut every worker down, return."""
@@ -363,6 +439,7 @@ class WorkerPool:
                     break
                 slot.busy = True
                 self._update_gauges()
+                self._notify_state()
                 queue_wait = time.monotonic() - ticket.enqueued_at
                 self.metrics.observe_queue_wait(queue_wait)
                 if ticket.trace is not None:
@@ -377,6 +454,7 @@ class WorkerPool:
                 finally:
                     slot.busy = False
                     self._update_gauges()
+                    self._notify_state()
                 if slot.worker.handled >= self.recycle_after:
                     self._recycle(slot)
         except asyncio.CancelledError:
@@ -418,11 +496,25 @@ class WorkerPool:
                         **args,
                     )
 
+            if self.chaos is not None and ticket.chaos_token is not None:
+                # each attempt consults the plan afresh (the occurrence
+                # counter advances), so a retry's fate is also seeded
+                delay = self.chaos.decide(
+                    "server.dispatch_delay", ticket.chaos_token
+                )
+                if delay is not None:
+                    self.metrics.inc("chaos.injected.server.dispatch_delay")
+                    await asyncio.sleep(delay.delay_s)
+                fault = self._worker_fault(ticket.chaos_token)
+                if fault is not None:
+                    self.metrics.inc(f"chaos.injected.{fault.site}")
+                    job = dict(job)
+                    job["_chaos"] = fault.worker_payload()
             try:
                 worker.conn.send(job)
             except (BrokenPipeError, OSError):
                 # died while idle: not an execution attempt, just respawn
-                self._replace(slot, reason="idle_crash")
+                self._replace(slot, reason="idle_crash", trace=ticket.trace)
                 continue
             ticket.attempts += 1
             recv = loop.run_in_executor(None, worker.conn.recv)
@@ -434,7 +526,7 @@ class WorkerPool:
             except asyncio.TimeoutError:
                 # deadline fired mid-cell: kill the worker (don't leak it,
                 # don't let the cell burn CPU to its max_steps fuel)
-                self._replace(slot, reason="deadline_kill")
+                self._replace(slot, reason="deadline_kill", trace=ticket.trace)
                 record_dispatch(outcome="deadline_kill")
                 ticket.fail(
                     "deadline_exceeded",
@@ -443,7 +535,7 @@ class WorkerPool:
                 )
                 return
             except (EOFError, OSError, BrokenPipeError):
-                self._replace(slot, reason="crash")
+                self._replace(slot, reason="crash", trace=ticket.trace)
                 record_dispatch(outcome="crash")
                 if ticket.attempts <= CRASH_RETRIES and not ticket.expired():
                     _log.warning(
@@ -468,9 +560,22 @@ class WorkerPool:
                 )
             return
 
+    def _worker_fault(self, token: str):
+        """First worker-enactable fault the plan decides for this attempt."""
+        for site in (
+            "pool.crash_before",
+            "pool.crash_during",
+            "pool.crash_after",
+            "pool.hang",
+        ):
+            fault = self.chaos.decide(site, token)
+            if fault is not None:
+                return fault
+        return None
+
     # -- worker replacement ------------------------------------------------
 
-    def _replace(self, slot: _Slot, reason: str) -> None:
+    def _replace(self, slot: _Slot, reason: str, trace=None) -> None:
         slot.worker.kill()
         slot.restarts += 1
         self.metrics.inc("serve.worker_restarts")
@@ -479,7 +584,10 @@ class WorkerPool:
             "worker %d (pid %s) replaced: %s",
             slot.index, slot.worker.pid, reason,
         )
-        slot.worker = _WorkerHandle(self.ctx, slot.index)
+        slot.worker = self._spawn(slot.index)
+        if self.on_replace is not None:
+            self.on_replace(reason, trace)
+        self._notify_state()
 
     def _recycle(self, slot: _Slot) -> None:
         slot.worker.shutdown()
@@ -489,8 +597,58 @@ class WorkerPool:
             "worker %d recycled after %d request(s)",
             slot.index, self.recycle_after,
         )
-        slot.worker = _WorkerHandle(self.ctx, slot.index)
+        slot.worker = self._spawn(slot.index)
+        self._notify_state()
 
     def _update_gauges(self) -> None:
         self.metrics.set_gauge("serve.queue_depth", self.queue.depth)
         self.metrics.set_gauge("serve.workers_busy", self.busy_count)
+
+    # -- event-driven state waiters ----------------------------------------
+    #
+    # Tests (and the soak harness) used to poll ``slot.busy`` /
+    # ``slot.recycles`` in 10ms sleep loops — the main source of flakes
+    # under CI load.  Every state transition above now wakes these
+    # waiters, so "wait until a worker is busy" is one await with no
+    # wall-clock guessing.
+
+    def _notify_state(self) -> None:
+        if not self._state_waiters:
+            return
+        remaining = []
+        for predicate, future in self._state_waiters:
+            if future.done():
+                continue
+            if predicate():
+                future.set_result(None)
+            else:
+                remaining.append((predicate, future))
+        self._state_waiters = remaining
+
+    async def wait_until(self, predicate, timeout: float = 10.0) -> None:
+        """Await ``predicate()`` becoming true at a pool state change."""
+        if predicate():
+            return
+        future = asyncio.get_running_loop().create_future()
+        self._state_waiters.append(future_entry := (predicate, future))
+        try:
+            await asyncio.wait_for(future, timeout)
+        finally:
+            if future_entry in self._state_waiters:
+                self._state_waiters.remove(future_entry)
+
+    async def wait_busy(self, count: int = 1, timeout: float = 10.0) -> None:
+        await self.wait_until(lambda: self.busy_count >= count, timeout)
+
+    async def wait_idle(self, timeout: float = 10.0) -> None:
+        await self.wait_until(lambda: self.busy_count == 0, timeout)
+
+    async def wait_recycled(self, count: int = 1, timeout: float = 10.0) -> None:
+        await self.wait_until(
+            lambda: sum(slot.recycles for slot in self.slots) >= count, timeout
+        )
+
+    async def wait_restarted(self, count: int = 1, timeout: float = 10.0) -> None:
+        await self.wait_until(
+            lambda: sum(slot.restarts for slot in self.slots) >= count, timeout
+        )

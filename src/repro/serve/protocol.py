@@ -19,8 +19,11 @@ Response (success / failure)::
 
 ``id`` is any JSON scalar the client chooses and is echoed verbatim
 (``null`` when a frame was too broken to carry one).  ``deadline_s``,
-``priority`` and ``trace`` (request a sampled trace back with the
-result) are optional; see :data:`OPS` for the verbs and
+``priority``, ``trace`` (request a sampled trace back with the
+result) and ``idempotency_key`` (a client-chosen string naming the
+*logical* request, so a retry of the same work coalesces onto the
+original in-flight computation instead of queueing a duplicate) are
+optional; see :data:`OPS` for the verbs and
 :data:`ERROR_CODES` for every error the server emits.  Frames larger
 than :data:`MAX_LINE_BYTES` are rejected with ``payload_too_large`` and
 the connection is closed (the stream can no longer be framed reliably).
@@ -93,6 +96,10 @@ class Request:
     #: client opt-in to tracing: forces sampling for this request and
     #: returns the connected span tree in ``result.trace``
     trace: bool = False
+    #: client-chosen identity of the *logical* request: retries carrying
+    #: the same key single-flight onto the original computation, and the
+    #: chaos layer uses it as the stable fault-decision token
+    idempotency_key: str | None = None
 
 
 def parse_request(line: bytes) -> Request:
@@ -141,6 +148,19 @@ def parse_request(line: bytes) -> Request:
             "trace must be a boolean",
             request_id=request_id,
         )
+    idempotency_key = payload.get("idempotency_key")
+    if idempotency_key is not None:
+        if (
+            not isinstance(idempotency_key, str)
+            or not idempotency_key
+            or len(idempotency_key) > 200
+        ):
+            raise ProtocolError(
+                "invalid_params",
+                "idempotency_key must be a non-empty string of at most "
+                "200 characters",
+                request_id=request_id,
+            )
     return Request(
         op=op,
         id=request_id,
@@ -148,6 +168,7 @@ def parse_request(line: bytes) -> Request:
         deadline_s=deadline_s,
         priority=priority,
         trace=trace,
+        idempotency_key=idempotency_key,
     )
 
 

@@ -61,6 +61,9 @@ class Ticket:
     #: the sampled request's live trace; the pool records queue-wait and
     #: dispatch spans on it and ships its context into the worker
     trace: object | None = None
+    #: stable fault-decision token (idempotency key or request digest);
+    #: ``None`` when the server has no chaos plan
+    chaos_token: str | None = None
 
     def remaining(self, now: float | None = None) -> float | None:
         """Seconds left before the deadline; None when unbounded."""

@@ -102,6 +102,11 @@ class ServerConfig:
     #: give up on a graceful drain after this many seconds (dump a
     #: flight bundle, then hard-stop the pool); ``None`` waits forever
     drain_timeout_s: float | None = None
+    #: fault-injection plan: a :class:`repro.chaos.FaultPlan`, a spec
+    #: string for :meth:`FaultPlan.parse` (the ``--chaos-plan`` flag),
+    #: or ``None`` — with no plan, every chaos hook is a single
+    #: ``is not None`` check (pay-for-use)
+    chaos_plan: object | None = None
 
 
 class ReproServer:
@@ -110,12 +115,20 @@ class ReproServer:
     def __init__(self, config: ServerConfig | None = None) -> None:
         self.config = config or ServerConfig()
         self.metrics = ServeMetrics()
+        chaos = self.config.chaos_plan
+        if isinstance(chaos, str):
+            from ..chaos.plan import FaultPlan
+
+            chaos = FaultPlan.parse(chaos)
+        self.chaos = chaos
         self.queue = AdmissionQueue(limit=self.config.queue_limit)
         self.pool = WorkerPool(
             self.queue,
             size=self.config.workers,
             recycle_after=self.config.recycle_after,
             metrics=self.metrics,
+            chaos=self.chaos,
+            on_replace=self._on_worker_replace,
         )
         self.flight = SingleFlight()
         if self.config.cache_dir is not None:
@@ -280,15 +293,18 @@ class ReproServer:
         op = "invalid"
         ok = False
         trace: Trace | None = None
+        chaos_token: str | None = None
         try:
             request = parse_request(line)
             op = request.op
+            if self.chaos is not None and op in self._WORK_OPS:
+                chaos_token = self._chaos_token(request)
             trace = self._maybe_trace(request)
             if trace is None:
-                result = await self._dispatch(request, None)
+                result = await self._dispatch(request, None, chaos_token)
             else:
                 with trace.span("request", op=op) as extra:
-                    result = await self._dispatch(request, trace)
+                    result = await self._dispatch(request, trace, chaos_token)
                     # book the root's self time — op routing, event-loop
                     # hops between stages, result framing, preemption —
                     # as an explicit framing child at span close: hit
@@ -331,6 +347,11 @@ class ReproServer:
             worker="serve",
             args={"ok": ok},
         )
+        if chaos_token is not None:
+            wire_fault = self._wire_fault(chaos_token)
+            if wire_fault is not None:
+                await self._send_mangled(writer, write_lock, frame, wire_fault)
+                return
         await self._send(writer, write_lock, frame)
 
     _WORK_OPS = frozenset({"compile", "run", "suite_cell", "explain"})
@@ -356,6 +377,15 @@ class ReproServer:
         self._spans_exported += write_spans_jsonl(
             self.config.trace_export, trace.events, append=True
         )
+
+    def _on_worker_replace(self, reason: str, trace) -> None:
+        """Pool callback: a worker was killed and respawned.  Crashes
+        (not deadline kills, which already dump on the submit path) get
+        a flight bundle *per crash* — even when the retry then succeeds
+        and the client never sees an error.  This is what lets the soak
+        harness demand evidence for every injected crash."""
+        if reason in ("crash", "idle_crash"):
+            self._dump_flight("worker_crash", trace)
 
     def _dump_flight(self, reason: str, trace: Trace | None = None) -> None:
         """Write a crash bundle (bounded per server lifetime)."""
@@ -387,9 +417,78 @@ class ReproServer:
             with contextlib.suppress(ConnectionResetError, BrokenPipeError):
                 await writer.drain()
 
+    # -- chaos hooks -------------------------------------------------------
+
+    @staticmethod
+    def _chaos_token(request: Request) -> str:
+        """The stable fault-decision identity of this request: the
+        client's idempotency key, else the request-content digest —
+        never the wire ``id``, which differs run to run."""
+        if request.idempotency_key is not None:
+            return request.idempotency_key
+        from ..chaos.plan import request_token
+
+        return request_token(request.op, request.params)
+
+    def _wire_fault(self, token: str):
+        """First protocol fault the plan decides for this response."""
+        for site in (
+            "protocol.truncate",
+            "protocol.hangup",
+            "protocol.split",
+            "protocol.oversize",
+        ):
+            fault = self.chaos.decide(site, token)
+            if fault is not None:
+                self.metrics.inc(f"chaos.injected.{site}")
+                return fault
+        return None
+
+    async def _send_mangled(
+        self,
+        writer: asyncio.StreamWriter,
+        lock: asyncio.Lock,
+        frame: bytes,
+        fault,
+    ) -> None:
+        """Write the chaos-reshaped response; hang up if the fault says
+        so (the client observes a torn/absent response and must retry —
+        other requests pipelined on this connection are collateral, as
+        they would be with a real connection fault)."""
+        from ..chaos.inject import mangle_response
+
+        chunks, hangup = mangle_response(fault.site, frame)
+        async with lock:
+            if writer.is_closing():
+                return
+            with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+                for chunk in chunks:
+                    writer.write(chunk)
+                    await writer.drain()
+            if hangup:
+                writer.close()
+
+    def _cache_chaos(self, token: str, key: str) -> None:
+        """Corrupt or evict the cached entry before the read.  Either
+        way the read must degrade to a miss (``ResultCache.get`` rejects
+        undecodable payloads) — never serve garbage."""
+        from ..chaos.inject import corrupt_cache_entry, evict_cache_entry
+
+        fault = self.chaos.decide("cache.corrupt", token)
+        if fault is not None and corrupt_cache_entry(self.cache, key):
+            self.metrics.inc("chaos.injected.cache.corrupt")
+        fault = self.chaos.decide("cache.evict", token)
+        if fault is not None and evict_cache_entry(self.cache, key):
+            self.metrics.inc("chaos.injected.cache.evict")
+
     # -- dispatch ----------------------------------------------------------
 
-    async def _dispatch(self, request: Request, trace: Trace | None) -> dict:
+    async def _dispatch(
+        self,
+        request: Request,
+        trace: Trace | None,
+        chaos_token: str | None = None,
+    ) -> dict:
         if request.op == "health":
             return self._health()
         if request.op == "metrics":
@@ -413,7 +512,13 @@ class ReproServer:
         else:
             job, key, cacheable = self._build_job(request)
         return await self._submit(
-            request, job, key, cacheable, trace, read_cache=not no_cache
+            request,
+            job,
+            key,
+            cacheable,
+            trace,
+            read_cache=not no_cache,
+            chaos_token=chaos_token,
         )
 
     def _health(self) -> dict:
@@ -461,6 +566,8 @@ class ReproServer:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
             }
+        if self.chaos is not None:
+            snapshot["chaos"] = self.chaos.describe()
         return snapshot
 
     # -- request -> job translation ---------------------------------------
@@ -644,10 +751,13 @@ class ReproServer:
         trace: Trace | None = None,
         *,
         read_cache: bool = True,
+        chaos_token: str | None = None,
     ) -> dict:
         if self._draining:
             raise ProtocolError("draining", "server is draining", request.id)
         if cacheable and read_cache and self.cache is not None:
+            if chaos_token is not None:
+                self._cache_chaos(chaos_token, key)
             if trace is None:
                 payload = self.cache.get(key)
                 if payload is not None:
@@ -670,7 +780,16 @@ class ReproServer:
                         )
                 if payload is not None:
                     return result
-        future, leader = self.flight.claim(key)
+        # a client-supplied idempotency key names the *logical* request:
+        # a retry coalesces onto the original computation even when the
+        # original is still in flight.  Content-addressed keys keep the
+        # cache untouched — only the single-flight identity changes.
+        flight_key = (
+            f"idem:{request.idempotency_key}"
+            if request.idempotency_key is not None
+            else key
+        )
+        future, leader = self.flight.claim(flight_key)
         if not leader:
             self.metrics.inc("serve.coalesced")
             if trace is None:
@@ -699,7 +818,13 @@ class ReproServer:
                 deadline=time.monotonic() + deadline_s,
                 priority=request.priority,
                 trace=trace,
+                chaos_token=chaos_token,
             )
+            if chaos_token is not None:
+                stall = self.chaos.decide("server.admission_stall", chaos_token)
+                if stall is not None:
+                    self.metrics.inc("chaos.injected.server.admission_stall")
+                    await asyncio.sleep(stall.delay_s)
             try:
                 self.queue.put(ticket)
             except QueueFull as error:
@@ -729,7 +854,7 @@ class ReproServer:
                         with trace.span("cache_write"):
                             self.cache.put(key, dict(payload["cell"]))
         finally:
-            self.flight.resolve(key, ok, payload)
+            self.flight.resolve(flight_key, ok, payload)
         if not ok:
             code = self._error_code(payload)
             if code in ("worker_crashed", "deadline_exceeded"):

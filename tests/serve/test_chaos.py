@@ -1,0 +1,288 @@
+"""The chaos layer: plan determinism, enactment helpers, server
+integration, and the soak harness's invariant contract.
+
+The plan tests are pure (no processes).  The integration and soak tests
+spawn a real server with faults enabled at rate 1.0 for one site at a
+time — deterministic by construction, not by rate.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.inject import CHAOS_EXIT_CODE, mangle_response
+from repro.chaos.plan import (
+    CRASH_SITES,
+    SITES,
+    FaultPlan,
+    FaultSpec,
+    request_token,
+)
+from tests.serve.helpers import run_async
+
+
+class TestFaultPlan:
+    def test_sites_registry_is_closed_and_layered(self):
+        assert len(SITES) == len(set(SITES))
+        layers = {site.split(".")[0] for site in SITES}
+        assert layers == {"pool", "server", "protocol", "cache"}
+        assert CRASH_SITES < set(SITES)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError, match="unknown chaos site"):
+            FaultPlan(0, {"pool.meltdown": 0.5})
+
+    def test_parse_spec_round_trip(self):
+        plan = FaultPlan.parse(
+            "seed=7,rate=0.1,pool.crash_during=0.9,limit=3"
+        )
+        assert plan.seed == 7
+        assert plan.rates["pool.crash_during"] == 0.9
+        assert plan.rates["cache.evict"] == 0.1
+        assert FaultPlan.parse(plan.spec()).spec() == plan.spec()
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("seed=x", "rate=2.0", "bogus.site=1.0", "limit=-1"):
+            with pytest.raises(ValueError):
+                FaultPlan.parse(bad)
+
+    def test_same_seed_same_decisions(self):
+        a = FaultPlan.all_sites(seed=42, rate=0.3)
+        b = FaultPlan.all_sites(seed=42, rate=0.3)
+        decisions_a = [
+            a.would_inject(site, f"t{i}", 0)
+            for site in SITES for i in range(50)
+        ]
+        decisions_b = [
+            b.would_inject(site, f"t{i}", 0)
+            for site in SITES for i in range(50)
+        ]
+        assert decisions_a == decisions_b
+        assert any(decisions_a) and not all(decisions_a)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan.all_sites(seed=1, rate=0.3)
+        b = FaultPlan.all_sites(seed=2, rate=0.3)
+        assert [
+            a.would_inject("pool.hang", f"t{i}", 0) for i in range(100)
+        ] != [
+            b.would_inject("pool.hang", f"t{i}", 0) for i in range(100)
+        ]
+
+    def test_rate_extremes(self):
+        always = FaultPlan(0, {"pool.hang": 1.0})
+        never = FaultPlan(0, {"pool.hang": 0.0})
+        for i in range(20):
+            assert always.would_inject("pool.hang", f"t{i}", 0)
+            assert not never.would_inject("pool.hang", f"t{i}", 0)
+
+    def test_decide_advances_occurrence_so_retries_get_fresh_fate(self):
+        plan = FaultPlan(0, {"pool.crash_during": 1.0})
+        first = plan.decide("pool.crash_during", "tok")
+        second = plan.decide("pool.crash_during", "tok")
+        assert first.occurrence == 0
+        assert second.occurrence == 1
+        assert plan.consults == 2
+
+    def test_limit_caps_injections_per_site(self):
+        plan = FaultPlan(
+            0, {"pool.crash_during": 1.0}, max_injections_per_site=2
+        )
+        hits = [
+            plan.decide("pool.crash_during", f"t{i}") for i in range(10)
+        ]
+        assert sum(1 for h in hits if h is not None) == 2
+        assert plan.injected_by_site() == {"pool.crash_during": 2}
+
+    def test_schedule_digest_stable_across_instances(self):
+        tokens = [f"req-{i}" for i in range(20)]
+        a = FaultPlan.all_sites(seed=9, rate=0.2).schedule(tokens, 2)
+        b = FaultPlan.all_sites(seed=9, rate=0.2).schedule(tokens, 2)
+        assert a == b
+        assert FaultPlan.schedule_digest(a) == FaultPlan.schedule_digest(b)
+        c = FaultPlan.all_sites(seed=10, rate=0.2).schedule(tokens, 2)
+        assert FaultPlan.schedule_digest(a) != FaultPlan.schedule_digest(c)
+
+    def test_delay_is_seeded_and_bounded(self):
+        plan = FaultPlan(3, {"server.dispatch_delay": 1.0})
+        fault = plan.decide("server.dispatch_delay", "tok")
+        again = FaultPlan(3, {"server.dispatch_delay": 1.0}).decide(
+            "server.dispatch_delay", "tok"
+        )
+        assert fault.delay_ms == again.delay_ms
+        assert 1 <= fault.delay_ms <= plan.delay_max_ms
+
+    def test_describe_reports_injections(self):
+        plan = FaultPlan(0, {"cache.evict": 1.0})
+        plan.decide("cache.evict", "tok")
+        described = plan.describe()
+        assert described["injected"] == 1
+        assert described["injected_by_site"] == {"cache.evict": 1}
+        assert described["seed"] == 0
+        json.dumps(described)  # wire-safe
+
+
+class TestRequestToken:
+    def test_stable_and_param_order_independent(self):
+        a = request_token("run", {"x": 1, "y": 2})
+        b = request_token("run", {"y": 2, "x": 1})
+        assert a == b
+        assert len(a) == 16
+
+    def test_distinguishes_op_and_params(self):
+        base = request_token("run", {"x": 1})
+        assert request_token("compile", {"x": 1}) != base
+        assert request_token("run", {"x": 2}) != base
+
+
+class TestMangleResponse:
+    FRAME = (json.dumps({"id": 7, "ok": True, "result": {"v": 1}}) + "\n").encode()
+
+    def test_truncate_sends_half_and_hangs_up(self):
+        chunks, hangup = mangle_response("protocol.truncate", self.FRAME)
+        assert hangup
+        assert len(chunks) == 1
+        assert len(chunks[0]) == len(self.FRAME) // 2
+        assert self.FRAME.startswith(chunks[0])
+
+    def test_hangup_sends_nothing(self):
+        chunks, hangup = mangle_response("protocol.hangup", self.FRAME)
+        assert chunks == [] and hangup
+
+    def test_split_reassembles_to_the_original(self):
+        chunks, hangup = mangle_response("protocol.split", self.FRAME)
+        assert not hangup
+        assert len(chunks) == 2
+        assert b"".join(chunks) == self.FRAME
+
+    def test_oversize_is_valid_json_but_huge(self):
+        chunks, _ = mangle_response("protocol.oversize", self.FRAME)
+        blob = b"".join(chunks)
+        assert len(blob) > 100_000
+        assert blob.endswith(b"\n")
+        frame = json.loads(blob)
+        assert frame["id"] == 7  # payload intact, just padded
+
+    def test_worker_payload_round_trip(self):
+        spec = FaultSpec(site="pool.hang", token="t", occurrence=1, delay_ms=9)
+        payload = spec.worker_payload()
+        assert payload == {"site": "pool.hang", "delay_ms": 9}
+        json.dumps(payload)  # crosses the job pipe
+
+
+class TestServerIntegration:
+    def test_injected_crash_is_retried_dumped_and_counted(self, tmp_path):
+        """One forced crash_during: the pool absorbs it, the flight
+        recorder keeps the evidence, the metrics name the site."""
+
+        async def scenario():
+            from repro.serve.client import ServeClient
+            from repro.serve.server import ReproServer, ServerConfig
+
+            server = ReproServer(ServerConfig(
+                port=0, workers=1,
+                cache_dir=str(tmp_path / "cache"),
+                artifacts_dir=str(tmp_path / "artifacts"),
+                chaos_plan="seed=0,pool.crash_during=1.0,limit=1",
+            ))
+            await server.start()
+            try:
+                client = await ServeClient.connect("127.0.0.1", server.port)
+                try:
+                    result = await client.call(
+                        "suite_cell",
+                        {"workload": "dhrystone", "variant": "modref/promo",
+                         "max_steps": 2_000_000},
+                        idempotency_key="crash-me",
+                    )
+                    assert result["workload"] == "dhrystone"
+                    metrics = await client.call("metrics")
+                    assert metrics["chaos"]["injected_by_site"] == {
+                        "pool.crash_during": 1
+                    }
+                    values = metrics["metrics"]
+                    assert values["chaos.injected.pool.crash_during"] == 1
+                    assert values["serve.worker_restarts.crash"] == 1
+                finally:
+                    await client.close()
+            finally:
+                await server.stop()
+            bundles = list((tmp_path / "artifacts").glob("flight-*"))
+            assert len(bundles) == 1
+            assert "worker_crash-" in bundles[0].name
+
+        run_async(scenario())
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CHAOS_EXIT_CODE == 86
+
+    def test_wire_fault_recovery_via_resilient_client(self, tmp_path):
+        """A forced truncate tears the connection; the resilient client
+        reconnects and the retry must see a clean server — including the
+        regression where a forked worker's inherited socket fd kept the
+        torn connection from ever reaching EOF."""
+
+        async def scenario():
+            from repro.serve.client import ResilientClient
+            from repro.serve.server import ReproServer, ServerConfig
+
+            server = ReproServer(ServerConfig(
+                port=0, workers=1,
+                cache_dir=str(tmp_path / "cache"),
+                artifacts_dir=str(tmp_path / "artifacts"),
+                chaos_plan="seed=0,protocol.truncate=1.0,limit=1",
+            ))
+            await server.start()
+            client = ResilientClient("127.0.0.1", server.port)
+            try:
+                response = await client.request(
+                    "suite_cell",
+                    {"workload": "dhrystone", "variant": "modref/promo",
+                     "max_steps": 2_000_000},
+                    deadline_s=30.0,
+                    idempotency_key="tear-me",
+                )
+                assert response["ok"]
+                assert client.stats.reconnects == 1
+                assert client.stats.retries_by_code == {"connection_lost": 1}
+            finally:
+                await client.close()
+                await server.drain()
+
+        run_async(scenario())
+
+
+class TestSoak:
+    def test_small_soak_passes_and_replays_identically(self, tmp_path):
+        from repro.chaos.soak import SoakConfig, format_soak_report, run_soak
+
+        def config(subdir):
+            return SoakConfig(
+                budget=8, seed=11, rate=0.25, workers=1,
+                artifacts_dir=str(tmp_path / subdir), out=None,
+            )
+
+        first = run_soak(config("a"))
+        assert first["passed"], first["invariants"]
+        assert first["requests"]["unexplained"] == 0
+        assert first["workers"]["leaked_pids"] == []
+        report_text = format_soak_report(first)
+        assert "PASS" in report_text
+
+        second = run_soak(config("b"))
+        assert second["schedule"] == first["schedule"]
+        assert second["schedule_digest"] == first["schedule_digest"]
+
+    def test_soak_writes_report(self, tmp_path, monkeypatch):
+        from repro.chaos.soak import SoakConfig, run_soak
+
+        monkeypatch.chdir(tmp_path)
+        report = run_soak(SoakConfig(
+            budget=4, seed=0, rate=0.0, workers=1, out="CHAOS_REPORT.json",
+        ))
+        on_disk = json.loads((tmp_path / "CHAOS_REPORT.json").read_text())
+        assert on_disk["schedule_digest"] == report["schedule_digest"]
+        assert on_disk["schema"] == 1
+        # rate 0: chaos plumbing on, zero injections, all ok
+        assert on_disk["chaos"]["injected"] == 0
+        assert on_disk["requests"]["ok"] == 4

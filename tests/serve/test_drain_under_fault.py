@@ -1,0 +1,92 @@
+"""Graceful drain while chaos is actively faulting: SIGTERM must land
+mid-recovery and the server must still answer every admitted request
+and exit 0.
+
+This is the one serve test that exercises the real CLI entrypoint as a
+subprocess, because drain-on-signal wiring (signal handler → drain task
+→ exit code) lives in ``cmd_serve``, not in :class:`ReproServer`.
+"""
+
+import asyncio
+import os
+import signal
+import sys
+
+from repro.serve.client import ServeClient
+from tests.serve.helpers import run_async, slow_source
+
+
+async def _start_server(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")])
+    )
+    proc = await asyncio.create_subprocess_exec(
+        sys.executable, "-m", "repro.cli", "serve",
+        "--port", "0", "--workers", "1", "--no-cache",
+        "--chaos-plan", "seed=0,pool.crash_during=1.0,limit=1",
+        "--artifacts-dir", str(tmp_path / "artifacts"),
+        env=env,
+        stderr=asyncio.subprocess.PIPE,
+    )
+    # first stderr line announces the bound port:
+    #   repro-serve listening on 127.0.0.1:PORT (...)
+    banner = (await asyncio.wait_for(proc.stderr.readline(), 30)).decode()
+    assert "listening on" in banner, banner
+    port = int(banner.split("listening on ")[1].split(" ")[0].rsplit(":", 1)[1])
+    assert "chaos seed=0" in banner  # the plan made it into the config
+    return proc, port
+
+
+def test_sigterm_during_injected_crash_recovery_drains_cleanly(tmp_path):
+    async def scenario():
+        proc, port = await _start_server(tmp_path)
+        try:
+            client = await ServeClient.connect("127.0.0.1", port)
+            try:
+                # slow enough that the injected crash + respawn + retry
+                # are all still in flight when the SIGTERM arrives
+                task = asyncio.create_task(client.call(
+                    "run",
+                    {"source": slow_source(400_000)},
+                    deadline_s=60.0,
+                    idempotency_key="drain-me",
+                ))
+
+                # event-driven trigger: fire SIGTERM only once the chaos
+                # crash has provably happened (restart counted), so the
+                # drain races the *recovery*, not the original dispatch
+                async def crash_observed():
+                    while True:
+                        metrics = await client.call("metrics")
+                        values = metrics["metrics"]
+                        if values.get("serve.worker_restarts.crash", 0) >= 1:
+                            return metrics
+                        await asyncio.sleep(0.02)
+
+                metrics = await asyncio.wait_for(crash_observed(), 30)
+                assert metrics["chaos"]["injected_by_site"] == {
+                    "pool.crash_during": 1
+                }
+                assert not task.done()  # the retry is still running
+                proc.send_signal(signal.SIGTERM)
+
+                # the admitted request is answered, not dropped
+                result = await asyncio.wait_for(task, 60)
+                assert result["counters"]["total_ops"] > 0
+            finally:
+                await client.close()
+
+            stderr = (await asyncio.wait_for(proc.communicate(), 30))[1]
+            assert await proc.wait() == 0
+            assert b"drained" in stderr
+        finally:
+            if proc.returncode is None:
+                proc.kill()
+                await proc.wait()
+
+        # the injected crash left its flight-recorder evidence behind
+        bundles = list((tmp_path / "artifacts").glob("flight-*"))
+        assert any("worker_crash-" in b.name for b in bundles)
+
+    run_async(scenario())

@@ -232,13 +232,20 @@ class TestTracedCampaign:
 
 
 class TestFaultInjection:
-    def test_worker_killed_mid_campaign_server_stays_healthy(self):
+    def test_worker_killed_mid_campaign_server_stays_healthy(self, tmp_path):
         """A worker SIGKILLed while executing must not fail the campaign:
         the request retries on a fresh worker and the server keeps serving."""
 
         async def scenario():
             server = ReproServer(
-                ServerConfig(port=0, workers=2, cache_dir=None)
+                ServerConfig(
+                    port=0,
+                    workers=2,
+                    cache_dir=None,
+                    # crash replacements dump flight bundles now; keep
+                    # them out of the working directory
+                    artifacts_dir=str(tmp_path / "artifacts"),
+                )
             )
             await server.start()
 

@@ -101,7 +101,7 @@ class TestRecycling:
                     ok, _ = await ticket.future
                     assert ok
                 # recycling happens after the driver finishes the ticket
-                await asyncio.sleep(0.2)
+                await pool.wait_recycled(1)
                 assert pool.slots[0].recycles == 1
                 assert pool.slots[0].worker.pid != pid_before
                 assert pool.metrics.registry.get("serve.worker_recycles") == 1
@@ -124,10 +124,7 @@ class TestCrashRecovery:
                     queue, make_cell_job(source=slow_source(300000))
                 )
                 # wait until the worker is actually executing, then SIGKILL
-                for _ in range(200):
-                    if pool.slots[0].busy:
-                        break
-                    await asyncio.sleep(0.01)
+                await pool.wait_busy()
                 assert pool.slots[0].busy
                 victim = pool.slots[0].worker
                 os.kill(victim.pid, signal.SIGKILL)
@@ -154,17 +151,28 @@ class TestCrashRecovery:
                 )
 
                 async def assassin():
+                    kills = 0
                     while not ticket.future.done():
-                        if pool.slots[0].busy:
-                            try:
-                                os.kill(
-                                    pool.slots[0].worker.pid, signal.SIGKILL
-                                )
-                            except ProcessLookupError:
-                                pass
-                            await asyncio.sleep(0.05)
-                        else:
-                            await asyncio.sleep(0.01)
+                        # busy toggling (and every restart) wakes the
+                        # waiter, so each kill lands on a live attempt
+                        # instead of a 10ms polling raster
+                        try:
+                            await pool.wait_busy(timeout=30)
+                        except asyncio.TimeoutError:
+                            return
+                        if ticket.future.done():
+                            return
+                        try:
+                            os.kill(
+                                pool.slots[0].worker.pid, signal.SIGKILL
+                            )
+                        except ProcessLookupError:
+                            continue
+                        kills += 1
+                        try:
+                            await pool.wait_restarted(kills, timeout=30)
+                        except asyncio.TimeoutError:
+                            return
 
                 killer = asyncio.create_task(assassin())
                 ok, payload = await asyncio.wait_for(ticket.future, 60)
@@ -188,8 +196,13 @@ class TestCrashRecovery:
                 warm = await submit(queue, make_cell_job())
                 ok, _ = await warm.future
                 assert ok
-                os.kill(pool.slots[0].worker.pid, signal.SIGKILL)
-                await asyncio.sleep(0.1)
+                victim = pool.slots[0].worker
+                os.kill(victim.pid, signal.SIGKILL)
+                # reaped = the kill has fully landed; the next dispatch
+                # must hit a dead pipe, not race the signal delivery
+                await asyncio.get_running_loop().run_in_executor(
+                    None, victim.process.join
+                )
                 ticket = await submit(queue, make_cell_job())
                 ok, _ = await asyncio.wait_for(ticket.future, 60)
                 assert ok
@@ -246,10 +259,7 @@ class TestDeadlineKill:
                 blocker = await submit(
                     queue, make_cell_job(source=slow_source(250000, salt=2))
                 )
-                for _ in range(200):
-                    if pool.slots[0].busy:
-                        break
-                    await asyncio.sleep(0.01)
+                await pool.wait_busy()
                 doomed = await submit(
                     queue, make_cell_job(), deadline_s=0.001
                 )
@@ -273,7 +283,7 @@ class TestDrain:
                 await submit(queue, make_cell_job(source=slow_source(100000, salt=i)))
                 for i in range(3)
             ]
-            await asyncio.sleep(0.05)
+            await pool.wait_busy(2)
             await asyncio.wait_for(pool.drain(), 120)
             for ticket in tickets:
                 ok, payload = await ticket.future

@@ -346,7 +346,7 @@ class TestBackpressure:
                             {"source": slow_source(2_000_000), "name": "busy"},
                         )
                     )
-                    await asyncio.sleep(0.3)
+                    await server.pool.wait_busy()
                     health = await asyncio.wait_for(
                         client.call("health", priority="high"), 2.0
                     )
@@ -374,7 +374,7 @@ class TestDrain:
                             {"source": slow_source(2_000_000), "name": "drainme"},
                         )
                     )
-                    await asyncio.sleep(0.3)
+                    await server.pool.wait_busy()
                     status = await client.call("drain")
                     assert status == {"status": "draining"}
                     # the in-flight cell still completes and is answered
@@ -402,15 +402,18 @@ class TestDrain:
                             {"source": slow_source(2_000_000), "name": "last"},
                         )
                     )
-                    await asyncio.sleep(0.3)
-                    drain_task = asyncio.create_task(client.call("drain"))
-                    await asyncio.sleep(0.05)
+                    await server.pool.wait_busy()
+                    # the drain ack is sent as soon as the flag is set,
+                    # so awaiting it (not a sleep) orders the late
+                    # request strictly after the server starts draining
+                    assert (await client.call("drain")) == {
+                        "status": "draining"
+                    }
                     late = await client.request(
                         "run", {"source": FAST_SOURCE, "name": "late"}
                     )
                     assert late["ok"] is False
                     assert late["error"]["code"] == "draining"
-                    assert (await drain_task) == {"status": "draining"}
                     assert (await asyncio.wait_for(slow, 60))["ok"]
 
         run_async(scenario())

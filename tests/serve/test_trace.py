@@ -176,18 +176,26 @@ class TestFlightDumps:
                     )
 
                     async def assassin():
+                        kills = 0
                         while not task.done():
+                            try:
+                                await server.pool.wait_busy(timeout=30)
+                            except asyncio.TimeoutError:
+                                return
+                            if task.done():
+                                return
                             slot = server.pool.slots[0]
-                            if slot.busy:
-                                try:
-                                    os.kill(
-                                        slot.worker.pid, signal.SIGKILL
-                                    )
-                                except ProcessLookupError:
-                                    pass
-                                await asyncio.sleep(0.05)
-                            else:
-                                await asyncio.sleep(0.01)
+                            try:
+                                os.kill(slot.worker.pid, signal.SIGKILL)
+                            except ProcessLookupError:
+                                continue
+                            kills += 1
+                            try:
+                                await server.pool.wait_restarted(
+                                    kills, timeout=30
+                                )
+                            except asyncio.TimeoutError:
+                                return
 
                     killer = asyncio.create_task(assassin())
                     try:
