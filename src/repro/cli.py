@@ -280,9 +280,18 @@ def cmd_suite(args: argparse.Namespace) -> int:
         return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
+    fn_store = None
+    if not args.no_cache:
+        from .inccomp import FunctionStore
+
+        fn_store = FunctionStore(Path(args.cache_dir) / "fn")
     if args.clear_cache and cache is not None:
         removed = cache.clear()
-        print(f"cache cleared ({removed} cells)", file=sys.stderr)
+        fn_removed = fn_store.clear() if fn_store is not None else 0
+        print(
+            f"cache cleared ({removed} cells, {fn_removed} functions)",
+            file=sys.stderr,
+        )
 
     def progress(spec, outcome) -> None:
         if outcome.ok:
@@ -301,6 +310,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         collect_trace=bool(args.trace),
         progress=progress,
+        fn_store=fn_store,
     )
     for metric in METRICS:
         print(format_figure(report.results, metric))
@@ -346,6 +356,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"unknown workloads: {unknown}", file=sys.stderr)
             print(f"available: {workload_names()}", file=sys.stderr)
             return 2
+    if args.compile:
+        import json as json_mod
+
+        from .inccomp.bench import (
+            bench_compile,
+            check_compile_gate,
+            format_compile_bench,
+        )
+
+        payload = bench_compile(names)
+        print(format_compile_bench(payload))
+        out = args.out if args.out != "BENCH_interp.json" else "BENCH_compile.json"
+        Path(out).write_text(json_mod.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+        problems = check_compile_gate(payload, args.min_speedup)
+        for problem in problems:
+            print(f"compile bench gate: {problem}", file=sys.stderr)
+        return 1 if problems else 0
     baseline = None
     if args.baseline:
         try:
@@ -788,6 +816,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true",
                          help="CI subset: " + " ".join(
                              ("dhrystone", "fft", "mlink", "tsp")))
+    p_bench.add_argument("--compile", action="store_true",
+                         help="bench compilation instead of interpreters: "
+                              "from-scratch vs incremental vs warm "
+                              "(writes BENCH_compile.json)")
+    p_bench.add_argument("--min-speedup", type=float, default=2.0,
+                         metavar="X",
+                         help="with --compile: fail unless the one-function-"
+                              "edit recompile beats from-scratch by this "
+                              "factor (default 2.0)")
     p_bench.add_argument("--repeats", type=int, default=2,
                          help="runs per engine, best wall time wins (default 2)")
     p_bench.add_argument("--max-steps", type=int, default=500_000_000)

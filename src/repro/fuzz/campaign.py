@@ -106,6 +106,9 @@ def run_campaign(
     result = CampaignResult(first_seed=options.seed)
     next_seed = options.seed
     stop = False
+    from ..inccomp import FunctionStore
+
+    fn_store = FunctionStore(root=None, max_entries=4096)
 
     # last-N program history + recent log records ride along in every
     # divergence artifact (see _handle_divergence)
@@ -135,12 +138,15 @@ def run_campaign(
                 )
             ]
             # a fresh per-batch compile cache bounds memory while letting each
-            # level's engine set share one compilation (inline runs only)
+            # level's engine set share one compilation (inline runs only);
+            # the function store persists across batches — generated
+            # programs share helper shapes, and a bounded memo is cheap
             outcomes = run_cells(
                 specs,
                 jobs=options.jobs,
                 retries=0,
                 compile_cache={} if options.jobs <= 1 else None,
+                fn_store=fn_store,
             )
 
             for program in batch:

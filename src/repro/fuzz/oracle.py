@@ -50,6 +50,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 from ..diag.ledger import Decision
+from ..inccomp.store import FunctionStore
 from ..interp import MachineOptions
 from ..opt.promotion import PromotionOptions
 from ..pipeline import Analysis, PipelineOptions
@@ -356,13 +357,24 @@ def run_oracle(
     program: FuzzProgram,
     config: OracleConfig | None = None,
     jobs: int = 1,
+    fn_store: "FunctionStore | None" = None,
 ) -> OracleReport:
-    """Run the whole matrix for one program and classify the outcomes."""
+    """Run the whole matrix for one program and classify the outcomes.
+
+    ``fn_store`` makes the matrix incremental per function: levels share
+    nothing with each other (their options differ), but successive
+    oracle runs over related sources — a campaign batch, the reducer's
+    thousands of probes — reuse every function body they did not touch.
+    """
     config = config or OracleConfig()
     specs = build_oracle_specs(program.name, program.source, config)
     # inline runs share one compilation per level across the engine pair
     outcomes = run_cells(
-        specs, jobs=jobs, retries=0, compile_cache={} if jobs <= 1 else None
+        specs,
+        jobs=jobs,
+        retries=0,
+        compile_cache={} if jobs <= 1 else None,
+        fn_store=fn_store,
     )
     return classify_outcomes(
         program, {variant: o for (_, variant), o in outcomes.items()}
@@ -384,6 +396,9 @@ def make_divergence_predicate(
     """
     config = config or OracleConfig()
     scheduler_log = logging.getLogger("repro.runner.scheduler")
+    # one warm memo across every probe: ddmin deletes a few lines per
+    # candidate, so most of each probe's functions hit the store
+    fn_store = FunctionStore(root=None, max_entries=4096)
 
     def predicate(source: str) -> bool:
         # most probes fail to compile by design; the scheduler's per-cell
@@ -391,7 +406,9 @@ def make_divergence_predicate(
         previous = scheduler_log.level
         scheduler_log.setLevel(logging.ERROR)
         try:
-            report = run_oracle(FuzzProgram(seed=-1, source=source), config)
+            report = run_oracle(
+                FuzzProgram(seed=-1, source=source), config, fn_store=fn_store
+            )
         finally:
             scheduler_log.setLevel(previous)
         if kind is None:

@@ -1,0 +1,67 @@
+"""Textual single-function edits over C sources.
+
+The compile benchmark and the differential tests need a *controlled*
+edit: touch exactly one function, leave every other byte of the program
+alone.  The C subset the workloads use keeps every function definition
+on one line (``type name(args) {``), so a line-anchored pattern is
+enough to find the insertion point reliably.
+
+The injected statement declares and uses a dead local whose address is
+never taken: it perturbs the function's lowered IR (so its cache key
+changes) without creating a tag, changing any MOD/REF summary, or
+surviving dead-code elimination — the canonical "recompile only me"
+edit.  Callers that need summary-changing edits write them by hand.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["EDIT_MARKER", "list_functions", "mutate_function"]
+
+#: the dead statement spliced into the edited function
+EDIT_MARKER = "int __inc_edit = 40; __inc_edit = __inc_edit + 2;"
+
+_DEF_RE = re.compile(
+    r"^\s*(?:static\s+)?"
+    r"(?:int|long|double|void|char|unsigned)[\w\s\*]*?"
+    r"\b(?P<name>\w+)\s*\([^;]*\)\s*\{\s*$"
+)
+
+
+def list_functions(source: str) -> list[str]:
+    """Names of all functions defined in ``source``, in order."""
+    return [
+        m.group("name")
+        for line in source.splitlines()
+        if (m := _DEF_RE.match(line)) is not None
+    ]
+
+
+def mutate_function(source: str, name: str | None = None) -> tuple[str, str]:
+    """Insert a dead statement at the top of one function.
+
+    Picks the first non-``main`` function when ``name`` is omitted (so
+    the edit has callers to *not* invalidate).  Returns ``(new_source,
+    edited_function_name)``.
+    """
+    names = list_functions(source)
+    if not names:
+        raise ValueError("no function definitions found")
+    if name is None:
+        name = next((n for n in names if n != "main"), names[0])
+    elif name not in names:
+        raise ValueError(f"no function named {name}; have {names}")
+    out: list[str] = []
+    edited = False
+    for line in source.splitlines(keepends=True):
+        out.append(line)
+        if edited:
+            continue
+        m = _DEF_RE.match(line.rstrip("\n"))
+        if m is not None and m.group("name") == name:
+            out.append(f"    {EDIT_MARKER}\n")
+            edited = True
+    if not edited:
+        raise ValueError(f"definition of {name} not found")
+    return "".join(out), name

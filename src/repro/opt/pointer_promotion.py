@@ -62,6 +62,7 @@ def promote_pointers_function(
     func: Function,
     module: Module | None = None,
     forest: LoopForest | None = None,
+    universe: frozenset | None = None,
 ) -> PointerPromotionReport:
     report = PointerPromotionReport(function=func.name)
     if forest is None:
@@ -70,7 +71,10 @@ def promote_pointers_function(
         return report
     dom = compute_dominators(func)
 
-    universe = frozenset(module.memory_tags()) if module is not None else None
+    if universe is None:
+        universe = (
+            frozenset(module.memory_tags()) if module is not None else None
+        )
 
     # definition sites per register (non-SSA: registers may have several)
     def_sites: dict[int, list[str]] = {}
@@ -89,8 +93,9 @@ def promote_pointers_function(
 
 
 def promote_pointers_module(module: Module) -> dict[str, PointerPromotionReport]:
+    universe = frozenset(module.memory_tags())
     return {
-        func.name: promote_pointers_function(func, module)
+        func.name: promote_pointers_function(func, module, universe=universe)
         for func in module.functions.values()
     }
 

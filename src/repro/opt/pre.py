@@ -98,22 +98,28 @@ def run_pre(func: Function) -> PREStats:
     return stats
 
 
-def run_pre_module(module: Module) -> PREStats:
+def record_pre_decision(func_name: str, stats: PREStats) -> None:
+    """Ledger one function's PRE outcome (no-op if nothing happened or
+    no ledger is active)."""
     from ..diag import ledger as diag_ledger
 
+    if stats.expressions_removed:
+        diag_ledger.record(
+            "pre", func_name, "applied",
+            detail={
+                "expressions_removed": stats.expressions_removed,
+                "loads_removed": stats.loads_removed,
+            },
+        )
+
+
+def run_pre_module(module: Module) -> PREStats:
     total = PREStats()
     for func in module.functions.values():
         stats = run_pre(func)
         total.expressions_removed += stats.expressions_removed
         total.loads_removed += stats.loads_removed
-        if stats.expressions_removed:
-            diag_ledger.record(
-                "pre", func.name, "applied",
-                detail={
-                    "expressions_removed": stats.expressions_removed,
-                    "loads_removed": stats.loads_removed,
-                },
-            )
+        record_pre_decision(func.name, stats)
     return total
 
 

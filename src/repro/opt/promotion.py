@@ -203,8 +203,18 @@ def promote_function(
     module: Module | None = None,
     options: PromotionOptions | None = None,
     forest: LoopForest | None = None,
+    universe: frozenset | None = None,
 ) -> PromotionReport:
-    """Run register promotion on one function, in place."""
+    """Run register promotion on one function, in place.
+
+    ``universe`` is the module's addressable-memory snapshot that
+    ambiguous references are materialized against.  Incremental
+    compilation passes it explicitly, snapshotted once post-analysis, so
+    the answer cannot depend on mid-pipeline mutations of other
+    functions (register allocation appends spill tags to
+    ``local_tags``); when omitted it is computed from ``module`` as
+    before.
+    """
     options = options or PromotionOptions()
     report = PromotionReport(function=func.name)
 
@@ -213,7 +223,10 @@ def promote_function(
     if not forest.loops:
         return report
 
-    universe = frozenset(module.memory_tags()) if module is not None else None
+    if universe is None:
+        universe = (
+            frozenset(module.memory_tags()) if module is not None else None
+        )
     explicit, ambiguous = gather_block_info(
         func, universe, ignore_calls=options.unsafe_ignore_call_ambiguity
     )
@@ -294,8 +307,9 @@ def promote_function(
 def promote_module(
     module: Module, options: PromotionOptions | None = None
 ) -> dict[str, PromotionReport]:
+    universe = frozenset(module.memory_tags())
     return {
-        func.name: promote_function(func, module, options)
+        func.name: promote_function(func, module, options, universe=universe)
         for func in module.functions.values()
     }
 

@@ -143,9 +143,24 @@ def run_value_numbering(func: Function, fold_constants: bool = True) -> VNStats:
     return stats
 
 
-def run_value_numbering_module(module: Module) -> VNStats:
+def record_vn_decision(func_name: str, stats: VNStats) -> None:
+    """Ledger one function's value-numbering outcome (no-op if nothing
+    happened or no ledger is active)."""
     from ..diag import ledger as diag_ledger
 
+    if stats.constants_folded or stats.expressions_reused or stats.loads_removed:
+        diag_ledger.record(
+            "valuenum", func_name, "applied",
+            detail={
+                "constants_folded": stats.constants_folded,
+                "expressions_reused": stats.expressions_reused,
+                "loads_removed": stats.loads_removed,
+                "copies_propagated": stats.copies_propagated,
+            },
+        )
+
+
+def run_value_numbering_module(module: Module) -> VNStats:
     total = VNStats()
     for func in module.functions.values():
         stats = run_value_numbering(func)
@@ -153,16 +168,7 @@ def run_value_numbering_module(module: Module) -> VNStats:
         total.expressions_reused += stats.expressions_reused
         total.loads_removed += stats.loads_removed
         total.copies_propagated += stats.copies_propagated
-        if stats.constants_folded or stats.expressions_reused or stats.loads_removed:
-            diag_ledger.record(
-                "valuenum", func.name, "applied",
-                detail={
-                    "constants_folded": stats.constants_folded,
-                    "expressions_reused": stats.expressions_reused,
-                    "loads_removed": stats.loads_removed,
-                    "copies_propagated": stats.copies_propagated,
-                },
-            )
+        record_vn_decision(func.name, stats)
     return total
 
 

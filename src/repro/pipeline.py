@@ -26,6 +26,7 @@ from __future__ import annotations
 import enum
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 from .analysis.modref import ModRefResult, run_modref
 from .analysis.pointsto import apply_points_to, run_points_to
@@ -34,19 +35,22 @@ from .diag.log import get_logger
 from .diag.metrics import inc_metric, set_gauge
 from .errors import ReproError
 from .frontend import compile_c
+from .inccomp.keys import function_digest, function_key, module_env_digest, options_digest
+from .inccomp.store import FunctionRecord, FunctionStore
 from .interp import Counters, MachineOptions, RunResult, run_module
+from .ir.function import Function
 from .ir.module import Module
-from .ir.verify import verify_module
-from .opt.clean import clean_module
-from .opt.constprop import run_sccp_module
-from .opt.dce import run_dce_module
-from .opt.licm import run_licm_module
-from .opt.pointer_promotion import PointerPromotionReport, promote_pointers_module
-from .opt.pre import run_pre_module
-from .opt.promotion import PromotionOptions, PromotionReport, promote_module
-from .opt.valuenum import run_value_numbering_module
-from .regalloc import RegAllocOptions, RegAllocReport, allocate_module
-from .diag.ledger import current_ledger
+from .ir.verify import verify_function, verify_module
+from .opt.clean import clean_function
+from .opt.constprop import run_sccp
+from .opt.dce import run_dce
+from .opt.licm import run_licm
+from .opt.pointer_promotion import PointerPromotionReport, promote_pointers_function
+from .opt.pre import record_pre_decision, run_pre
+from .opt.promotion import PromotionOptions, PromotionReport, promote_function
+from .opt.valuenum import record_vn_decision, run_value_numbering
+from .regalloc import RegAllocOptions, RegAllocReport, allocate_function
+from .diag.ledger import DecisionLedger, current_ledger
 from .trace import span
 
 
@@ -111,17 +115,196 @@ class CompileResult:
     )
     regalloc_reports: dict[str, RegAllocReport] = field(default_factory=dict)
     modref: ModRefResult | None = None
+    #: per-function cache traffic of this compile (0/0 without a store)
+    fn_cache_hits: int = 0
+    fn_cache_misses: int = 0
 
 
-def compile_module(module: Module, options: PipelineOptions | None = None) -> CompileResult:
-    """Run analysis + optimizer + allocator over an already-lowered module
-    (the module is transformed in place)."""
-    options = options or PipelineOptions()
-    result = CompileResult(module=module, options=options)
+def _worth_caching(options: PipelineOptions) -> bool:
+    """A store entry only pays for itself when some per-function work
+    exists to skip; O0-style configs bypass the store entirely."""
+    return any(
+        (
+            options.promotion,
+            options.pointer_promotion,
+            options.value_numbering,
+            options.constant_propagation,
+            options.licm,
+            options.pre,
+            options.dce,
+            options.clean,
+            options.run_regalloc,
+        )
+    )
+
+
+def _optimize_function(
+    func: Function,
+    module: Module,
+    options: PipelineOptions,
+    universe: frozenset,
+    ledger: DecisionLedger | None,
+) -> FunctionRecord:
+    """The per-function half of the pipeline: scalar optimizations,
+    promotion, redundancy removal, and register allocation, mutating
+    ``func`` in place.  Returns the :class:`FunctionRecord` capturing
+    everything a later cache hit must replay."""
+    start = perf_counter()
+    decisions_before = len(ledger.decisions) if ledger is not None else 0
+    name = func.name
+    record = FunctionRecord(function=func)
 
     def checkpoint() -> None:
         if options.verify_each_stage:
-            verify_module(module)
+            verify_function(func)
+
+    # -- early scalar optimizations ---------------------------------------
+    if options.clean:
+        with _pass_span("clean", module, function=name):
+            clean_function(func)
+    if options.value_numbering:
+        with _pass_span("value_numbering", module, function=name):
+            record_vn_decision(name, run_value_numbering(func))
+    if options.constant_propagation:
+        with _pass_span("sccp", module, function=name):
+            run_sccp(func)
+    checkpoint()
+
+    # -- register promotion (early, per section 3) -------------------------
+    if options.promotion:
+        with _pass_span("promotion", module, function=name):
+            record.promotion = promote_function(
+                func, options=options.promotion_options, universe=universe
+            )
+        checkpoint()
+
+    # -- loop and straight-line redundancy removal -------------------------
+    if options.licm:
+        with _pass_span("licm", module, function=name):
+            licm_stats = run_licm(func)
+        record.stats["licm.hoisted"] = licm_stats.hoisted
+        record.stats["licm.loads_hoisted"] = licm_stats.loads_hoisted
+        checkpoint()
+    if options.pointer_promotion:
+        with _pass_span("pointer_promotion", module, function=name):
+            record.pointer_promotion = promote_pointers_function(
+                func, universe=universe
+            )
+        checkpoint()
+    if options.pre:
+        with _pass_span("pre", module, function=name):
+            pre_stats = run_pre(func)
+            record_pre_decision(name, pre_stats)
+        record.stats["pre.expressions_removed"] = pre_stats.expressions_removed
+        record.stats["pre.loads_removed"] = pre_stats.loads_removed
+    if options.value_numbering:
+        with _pass_span("value_numbering", module, function=name):
+            vn_stats = run_value_numbering(func)
+            record_vn_decision(name, vn_stats)
+        record.stats["valuenum.loads_removed"] = vn_stats.loads_removed
+    if options.dce:
+        with _pass_span("dce", module, function=name):
+            run_dce(func)
+    if options.clean:
+        with _pass_span("clean", module, function=name):
+            clean_function(func)
+    checkpoint()
+
+    # -- register allocation -----------------------------------------------
+    if options.run_regalloc:
+        with _pass_span("regalloc", module, function=name):
+            record.regalloc = allocate_function(func, options.regalloc)
+            if options.dce:
+                run_dce(func)
+            if options.clean:
+                clean_function(func)
+
+    if ledger is not None:
+        record.decisions = list(ledger.decisions[decisions_before:])
+    record.seconds = perf_counter() - start
+    return record
+
+
+def _emit_pass_metrics(
+    module: Module,
+    result: CompileResult,
+    options: PipelineOptions,
+    totals: dict[str, int],
+) -> None:
+    """Publish the same gauges/metrics the module-at-a-time pipeline did,
+    from per-function records — identical whether each record came from a
+    fresh optimization or a cache hit."""
+    if options.promotion:
+        promoted = set().union(
+            *(r.promoted_tags for r in result.promotion_reports.values())
+        )
+        set_gauge("promotion.tags_promoted", len(promoted))
+        set_gauge(
+            "promotion.refs_rewritten",
+            sum(r.references_rewritten for r in result.promotion_reports.values()),
+        )
+        set_gauge(
+            "promotion.loads_inserted",
+            sum(r.loads_inserted for r in result.promotion_reports.values()),
+        )
+        set_gauge(
+            "promotion.stores_inserted",
+            sum(r.stores_inserted for r in result.promotion_reports.values()),
+        )
+        _log.info(
+            "%s: promoted %d tag(s), rewrote %d reference(s)",
+            module.name,
+            len(promoted),
+            sum(r.references_rewritten for r in result.promotion_reports.values()),
+        )
+    if options.licm:
+        inc_metric("licm.hoisted", totals.get("licm.hoisted", 0))
+        inc_metric("licm.loads_hoisted", totals.get("licm.loads_hoisted", 0))
+    if options.pointer_promotion:
+        set_gauge(
+            "pointer_promotion.promoted_bases",
+            sum(
+                r.promoted_bases
+                for r in result.pointer_promotion_reports.values()
+            ),
+        )
+    if options.pre:
+        inc_metric(
+            "pre.expressions_removed", totals.get("pre.expressions_removed", 0)
+        )
+        inc_metric("pre.loads_removed", totals.get("pre.loads_removed", 0))
+    if options.value_numbering:
+        inc_metric(
+            "valuenum.loads_removed", totals.get("valuenum.loads_removed", 0)
+        )
+
+
+def compile_module(
+    module: Module,
+    options: PipelineOptions | None = None,
+    fn_store: FunctionStore | None = None,
+    stage_hook=None,
+) -> CompileResult:
+    """Run analysis + optimizer + allocator over an already-lowered module
+    (the module is transformed in place).
+
+    With ``fn_store``, the per-function optimize-and-allocate phase is
+    content-addressed: the interprocedural analyses always run (they are
+    cheap and their results — MOD/REF summaries on call sites, sharpened
+    tag sets — are *inputs* to each function's key), then every function
+    whose key is already in the store is spliced in from cache instead of
+    re-optimized.  Cached and fresh compilations are observably
+    identical: byte-identical printed IR, equal pass reports, metrics,
+    and decision-ledger rows.
+
+    ``stage_hook(stage_name, module)`` is called at the whole-module
+    stage boundaries — ``"analysis"`` (interprocedural facts applied,
+    nothing optimized yet) and ``"optimized"`` (verified final form) —
+    so callers like the golden-IR harness can snapshot per-stage IR
+    without re-implementing pipeline sequencing.
+    """
+    options = options or PipelineOptions()
+    result = CompileResult(module=module, options=options)
 
     # -- interprocedural analysis -----------------------------------------
     _log.debug(
@@ -150,95 +333,58 @@ def compile_module(module: Module, options: PipelineOptions | None = None) -> Co
             "tagrefine.strengthened",
             refined.loads_strengthened + refined.stores_strengthened,
         )
-    checkpoint()
+    if options.verify_each_stage:
+        verify_module(module)
+    if stage_hook is not None:
+        stage_hook("analysis", module)
 
-    # -- early scalar optimizations ------------------------------------------
-    if options.clean:
-        with _pass_span("clean", module):
-            clean_module(module)
-    if options.value_numbering:
-        with _pass_span("value_numbering", module):
-            run_value_numbering_module(module)
-    if options.constant_propagation:
-        with _pass_span("sccp", module):
-            run_sccp_module(module)
-    checkpoint()
-
-    # -- register promotion (early, per section 3) ----------------------------
-    if options.promotion:
-        with _pass_span("promotion", module):
-            result.promotion_reports = promote_module(
-                module, options.promotion_options
+    # -- per-function optimization + allocation ----------------------------
+    # The promotion universe is snapshotted once, post-analysis: register
+    # allocation appends spill tags to local_tags as functions complete,
+    # and promotion of a later function must not observe them (the
+    # module-at-a-time pipeline never did).
+    universe = frozenset(module.memory_tags())
+    ledger = current_ledger()
+    use_store = fn_store is not None and _worth_caching(options)
+    if use_store:
+        env_digest = module_env_digest(module)
+        opts_digest = options_digest(options)
+    totals: dict[str, int] = {}
+    for name in list(module.functions):
+        func = module.functions[name]
+        key = None
+        record = None
+        if use_store:
+            key = function_key(
+                function_digest(func), env_digest, opts_digest, ledger is not None
             )
-        promoted = set().union(
-            *(r.promoted_tags for r in result.promotion_reports.values())
-        )
-        set_gauge("promotion.tags_promoted", len(promoted))
-        set_gauge(
-            "promotion.refs_rewritten",
-            sum(r.references_rewritten for r in result.promotion_reports.values()),
-        )
-        set_gauge(
-            "promotion.loads_inserted",
-            sum(r.loads_inserted for r in result.promotion_reports.values()),
-        )
-        set_gauge(
-            "promotion.stores_inserted",
-            sum(r.stores_inserted for r in result.promotion_reports.values()),
-        )
-        _log.info(
-            "%s: promoted %d tag(s), rewrote %d reference(s)",
-            module.name,
-            len(promoted),
-            sum(r.references_rewritten for r in result.promotion_reports.values()),
-        )
-        checkpoint()
+            record = fn_store.get(key)
+        if record is not None:
+            result.fn_cache_hits += 1
+            with span("fn_cache_hit", module, function=name):
+                module.functions[name] = record.function
+                if ledger is not None:
+                    for decision in record.decisions:
+                        ledger.record(decision)
+        else:
+            record = _optimize_function(func, module, options, universe, ledger)
+            if use_store:
+                result.fn_cache_misses += 1
+                fn_store.put(key, record)
+        if record.promotion is not None:
+            result.promotion_reports[name] = record.promotion
+        if record.pointer_promotion is not None:
+            result.pointer_promotion_reports[name] = record.pointer_promotion
+        if record.regalloc is not None:
+            result.regalloc_reports[name] = record.regalloc
+        for metric, value in record.stats.items():
+            totals[metric] = totals.get(metric, 0) + value
 
-    # -- loop and straight-line redundancy removal ---------------------------
-    if options.licm:
-        with _pass_span("licm", module):
-            licm_stats = run_licm_module(module)
-        inc_metric("licm.hoisted", licm_stats.hoisted)
-        inc_metric("licm.loads_hoisted", licm_stats.loads_hoisted)
-        checkpoint()
-    if options.pointer_promotion:
-        with _pass_span("pointer_promotion", module):
-            result.pointer_promotion_reports = promote_pointers_module(module)
-        set_gauge(
-            "pointer_promotion.promoted_bases",
-            sum(
-                r.promoted_bases
-                for r in result.pointer_promotion_reports.values()
-            ),
-        )
-        checkpoint()
-    if options.pre:
-        with _pass_span("pre", module):
-            pre_stats = run_pre_module(module)
-        inc_metric("pre.expressions_removed", pre_stats.expressions_removed)
-        inc_metric("pre.loads_removed", pre_stats.loads_removed)
-    if options.value_numbering:
-        with _pass_span("value_numbering", module):
-            vn_stats = run_value_numbering_module(module)
-        inc_metric("valuenum.loads_removed", vn_stats.loads_removed)
-    if options.dce:
-        with _pass_span("dce", module):
-            run_dce_module(module)
-    if options.clean:
-        with _pass_span("clean", module):
-            clean_module(module)
-    checkpoint()
-
-    # -- register allocation ---------------------------------------------------
-    if options.run_regalloc:
-        with _pass_span("regalloc", module):
-            result.regalloc_reports = allocate_module(module, options.regalloc)
-            if options.dce:
-                run_dce_module(module)
-            if options.clean:
-                clean_module(module)
+    _emit_pass_metrics(module, result, options, totals)
     with _pass_span("verify", module):
         verify_module(module)
+    if stage_hook is not None:
+        stage_hook("optimized", module)
     return result
 
 
@@ -247,12 +393,22 @@ def compile_source(
     options: PipelineOptions | None = None,
     name: str = "program",
     defines: dict[str, str] | None = None,
+    fn_store: FunctionStore | None = None,
+    stage_hook=None,
 ) -> CompileResult:
-    """Front end + :func:`compile_module`."""
+    """Front end + :func:`compile_module`.
+
+    ``stage_hook`` additionally fires with ``"frontend"`` right after
+    parsing/lowering, before any analysis touches the module.
+    """
     with span("parse"):
         module = compile_c(source, name=name, defines=defines)
+    if stage_hook is not None:
+        stage_hook("frontend", module)
     with span("optimize", module):
-        return compile_module(module, options)
+        return compile_module(
+            module, options, fn_store=fn_store, stage_hook=stage_hook
+        )
 
 
 @dataclass
@@ -304,10 +460,13 @@ def compile_and_run(
     name: str = "program",
     defines: dict[str, str] | None = None,
     machine_options: MachineOptions | None = None,
+    fn_store: FunctionStore | None = None,
 ) -> ExperimentCell:
     options = options or PipelineOptions()
     with span("compile", variant=options.variant_name()):
-        compiled = compile_source(source, options, name=name, defines=defines)
+        compiled = compile_source(
+            source, options, name=name, defines=defines, fn_store=fn_store
+        )
     return run_compiled(compiled, machine_options)
 
 

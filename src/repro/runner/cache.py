@@ -29,7 +29,9 @@ from pathlib import Path
 __all__ = ["DEFAULT_CACHE_DIR", "SCHEMA_VERSION", "ResultCache", "cell_key"]
 
 #: bump when the cached payload or the meaning of a counter changes
-SCHEMA_VERSION = 2  # v2: payloads carry the cell's published metrics
+SCHEMA_VERSION = 3  # v3: cells may be produced by incremental per-function
+#                     compilation (repro.inccomp); byte-identical by
+#                     contract, but invalidate pre-inccomp payloads
 
 DEFAULT_CACHE_DIR = Path(".repro-cache")
 

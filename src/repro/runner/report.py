@@ -24,6 +24,7 @@ from pathlib import Path
 
 from ..diag.host import host_metadata
 from ..harness.experiments import METRICS, ProgramResult, figure_rows
+from ..inccomp.store import FunctionStore
 from ..interp import MachineOptions
 from ..pipeline import ExperimentCell, PipelineOptions, paper_variants
 from ..regalloc import RegAllocOptions
@@ -221,6 +222,7 @@ def run_suite_report(
     collect_trace: bool = False,
     check_agreement: bool = True,
     progress: ProgressFn | None = None,
+    fn_store: "FunctionStore | None" = None,
 ) -> SuiteReport:
     """Run the suite (or a named subset) through the scheduler."""
     workloads = (
@@ -244,6 +246,7 @@ def run_suite_report(
         cache=cache,
         collect_trace=collect_trace,
         progress=progress,
+        fn_store=fn_store,
     )
     results, failures, disagreements = collect_results(
         outcomes, check_agreement=check_agreement

@@ -43,6 +43,7 @@ from typing import Callable, Union
 from ..diag.log import get_logger
 from ..diag.metrics import metrics_session
 from ..errors import ReproError
+from ..inccomp.store import FunctionStore
 from ..interp import Counters, MachineOptions
 from ..pipeline import (
     CompileResult,
@@ -160,6 +161,7 @@ def execute_cell(
     compile_cache: dict[str, CompileResult] | None = None,
     trace_ctx: TraceContext | None = None,
     trace_worker: str | None = None,
+    fn_store: FunctionStore | None = None,
 ) -> CellData:
     """Compile and run one cell (runs in the worker process).
 
@@ -199,12 +201,12 @@ def execute_cell(
                     from ..diag.ledger import decision_ledger
 
                     with decision_ledger():
-                        cell = _compile_and_run(spec, compile_cache)
+                        cell = _compile_and_run(spec, compile_cache, fn_store)
                 else:
-                    cell = _compile_and_run(spec, compile_cache)
+                    cell = _compile_and_run(spec, compile_cache, fn_store)
             events = [event.as_dict() for event in trace.events]
         else:
-            cell = _compile_and_run(spec, compile_cache)
+            cell = _compile_and_run(spec, compile_cache, fn_store)
             events = []
     _log.debug(
         "cell %s[%s] done in %.3fs", spec.workload, spec.variant,
@@ -224,7 +226,9 @@ def execute_cell(
 
 
 def _compile_and_run(
-    spec: CellSpec, compile_cache: dict[str, CompileResult] | None = None
+    spec: CellSpec,
+    compile_cache: dict[str, CompileResult] | None = None,
+    fn_store: FunctionStore | None = None,
 ):
     if compile_cache is None:
         return compile_and_run(
@@ -233,6 +237,7 @@ def _compile_and_run(
             name=spec.workload,
             defines=dict(spec.defines) or None,
             machine_options=spec.machine,
+            fn_store=fn_store,
         )
     key = compile_memo_key(spec)
     compiled = compile_cache.get(key)
@@ -242,6 +247,7 @@ def _compile_and_run(
             spec.options,
             name=spec.workload,
             defines=dict(spec.defines) or None,
+            fn_store=fn_store,
         )
         compile_cache[key] = compiled
     return run_compiled(compiled, spec.machine)
@@ -270,6 +276,7 @@ def run_cells(
     collect_trace: bool = False,
     progress: ProgressFn | None = None,
     compile_cache: dict[str, CompileResult] | None = None,
+    fn_store: FunctionStore | None = None,
 ) -> dict[tuple[str, str], CellOutcome]:
     """Run every cell, returning an outcome per ``(workload, variant)``.
 
@@ -278,6 +285,13 @@ def run_cells(
     since compiled modules do not cross process boundaries.  The caller
     owns the dict (and its memory): pass a fresh ``{}`` per batch to keep
     it bounded.
+
+    ``fn_store`` enables incremental per-function compilation (see
+    :mod:`repro.inccomp`): cells that miss ``cache`` still reuse every
+    optimized function body whose content key is unchanged.  Pooled runs
+    ship the store to each worker by pickle, so only a disk-backed store
+    (``root`` set) actually shares entries across processes; a
+    memory-only store degrades to per-submission scratch space.
     """
     outcomes: dict[tuple[str, str], CellOutcome] = {}
     by_key = {spec.key: spec for spec in specs}
@@ -305,9 +319,14 @@ def run_cells(
 
     if jobs <= 1:
         for spec in pending:
-            finish(spec, _run_inline(spec, retries, collect_trace, compile_cache))
+            finish(
+                spec,
+                _run_inline(spec, retries, collect_trace, compile_cache, fn_store),
+            )
     else:
-        _run_pooled(pending, jobs, timeout, retries, collect_trace, finish)
+        _run_pooled(
+            pending, jobs, timeout, retries, collect_trace, finish, fn_store
+        )
     return outcomes
 
 
@@ -316,6 +335,7 @@ def _run_inline(
     retries: int,
     collect_trace: bool,
     compile_cache: dict[str, CompileResult] | None = None,
+    fn_store: FunctionStore | None = None,
 ) -> CellOutcome:
     attempts = 0
     started = time.perf_counter()
@@ -327,6 +347,7 @@ def _run_inline(
                 collect_trace,
                 keep_compile_result=True,
                 compile_cache=compile_cache,
+                fn_store=fn_store,
             )
         except ReproError as error:
             last = f"{type(error).__name__}: {error}"
@@ -356,15 +377,22 @@ def _run_pooled(
     retries: int,
     collect_trace: bool,
     finish: Callable[[CellSpec, CellOutcome], None],
+    fn_store: FunctionStore | None = None,
 ) -> None:
     attempts: dict[tuple[str, str], int] = {spec.key: 0 for spec in pending}
+    # only a disk-backed store shares entries across process boundaries;
+    # shipping a memory-only one would just pickle dead weight per cell
+    if fn_store is not None and fn_store.root is None:
+        fn_store = None
     round_specs = list(pending)
     while round_specs:
         retry_specs: list[CellSpec] = []
         abandoned_workers = False
         pool = ProcessPoolExecutor(max_workers=min(jobs, len(round_specs)))
         futures = {
-            spec.key: pool.submit(execute_cell, spec, collect_trace)
+            spec.key: pool.submit(
+                execute_cell, spec, collect_trace, fn_store=fn_store
+            )
             for spec in round_specs
         }
         for spec in round_specs:

@@ -10,6 +10,10 @@ time on every invocation.  Workers here are long-lived
   for the same source/options reuse the compiled module — and with it
   the block-threaded engine's decode cache, which lives on the
   :class:`~repro.ir.module.Module`;
+* below that, a memory-only :class:`~repro.inccomp.FunctionStore` memo
+  makes *cold* requests incremental: a request whose source misses
+  ``compile_cache`` still reuses every per-function optimized body whose
+  content key matches an earlier request (see :mod:`repro.inccomp`);
 * the request unit is exactly the scheduler's cell
   (:func:`repro.runner.scheduler.execute_cell`), so serving and the
   batch runner share semantics, metrics, and cache keys.
@@ -80,7 +84,12 @@ def _maybe_tracing(name: str, trace_ctx, worker_label: str):
         yield trace
 
 
-def _handle_job(job: dict, compile_cache: dict, worker_index: int = 0) -> dict:
+def _handle_job(
+    job: dict,
+    compile_cache: dict,
+    worker_index: int = 0,
+    fn_store=None,
+) -> dict:
     """Execute one job inside the worker process.
 
     A ``trace_ctx`` dict in the job joins this execution to the
@@ -105,6 +114,7 @@ def _handle_job(job: dict, compile_cache: dict, worker_index: int = 0) -> dict:
             compile_cache=compile_cache,
             trace_ctx=trace_ctx,
             trace_worker=worker_label,
+            fn_store=fn_store,
         )
         result = {
             "workload": cell.workload,
@@ -124,6 +134,7 @@ def _handle_job(job: dict, compile_cache: dict, worker_index: int = 0) -> dict:
                 job["options"],
                 name=job.get("name", "request"),
                 defines=job.get("defines") or None,
+                fn_store=fn_store,
             )
         reports = list(compiled.promotion_reports.values())
         tags = (
@@ -155,6 +166,7 @@ def _handle_job(job: dict, compile_cache: dict, worker_index: int = 0) -> dict:
                     job["options"],
                     name=job.get("name", "request"),
                     defines=job.get("defines") or None,
+                    fn_store=fn_store,
                 )
         filters = job.get("filters") or {}
         decisions = ledger.query(**filters)
@@ -224,6 +236,13 @@ def worker_main(
     from ..runner import scheduler  # noqa: F401
 
     compile_cache: dict = {}
+    # the per-function warm memo: requests that share any function body
+    # with an earlier request (same key, any module) skip re-optimizing
+    # it, which is most of a cold request's compile cost.  Memory-only
+    # and bounded; recycled with the worker like compile_cache.
+    from ..inccomp import FunctionStore
+
+    fn_store = FunctionStore(root=None, max_entries=4096)
     while True:
         try:
             job = conn.recv()
@@ -242,9 +261,9 @@ def worker_main(
                 # parent's deadline reaper kills this process
                 enact_worker_fault(
                     chaos,
-                    lambda: _handle_job(job, compile_cache, worker_index),
+                    lambda: _handle_job(job, compile_cache, worker_index, fn_store),
                 )
-            result = _handle_job(job, compile_cache, worker_index)
+            result = _handle_job(job, compile_cache, worker_index, fn_store)
             reply = {"ok": True, "result": result}
         except Exception as error:
             from ..errors import ReproError

@@ -1,5 +1,7 @@
 """The campaign driver: budgets, artifacts, and corpus promotion."""
 
+import pytest
+
 from repro.fuzz import CampaignOptions, run_campaign
 from repro.fuzz.oracle import config_with_broken_promotion
 
@@ -8,6 +10,7 @@ MISCOMPILED_SEED = 4
 
 
 class TestCleanCampaign:
+    @pytest.mark.slow
     def test_program_cap_is_exact(self, tmp_path):
         options = CampaignOptions(
             budget_seconds=1e9,
@@ -30,6 +33,7 @@ class TestCleanCampaign:
         result = run_campaign(options)
         assert result.programs == 0
 
+    @pytest.mark.slow
     def test_progress_callback_sees_every_report(self, tmp_path):
         seen = []
         options = CampaignOptions(
@@ -64,6 +68,7 @@ class TestDivergentCampaign:
         assert header.startswith("/* fuzz-")
         assert f"--seed {MISCOMPILED_SEED}" in header
 
+    @pytest.mark.slow
     def test_stops_at_first_divergence_without_keep_going(self, tmp_path):
         options = CampaignOptions(
             budget_seconds=1e9,
@@ -78,6 +83,7 @@ class TestDivergentCampaign:
         assert result.divergent == 1
         assert result.programs <= 8  # stopped inside the first batch
 
+    @pytest.mark.slow
     def test_keep_going_collects_several(self, tmp_path):
         options = CampaignOptions(
             budget_seconds=1e9,

@@ -1,5 +1,7 @@
 """The ``repro fuzz`` subcommand."""
 
+import pytest
+
 from repro.cli import _parse_fuzz_seed, main
 
 
@@ -17,6 +19,7 @@ class TestSeedParsing:
 
 
 class TestFuzzCommand:
+    @pytest.mark.slow
     def test_clean_smoke_run_exits_zero(self, tmp_path, capsys):
         code = main(
             [

@@ -1,5 +1,7 @@
 """The differential oracle: classification rules and end-to-end runs."""
 
+import pytest
+
 from repro.fuzz import generate_program, run_oracle
 from repro.fuzz.gen import FuzzProgram
 from repro.fuzz.oracle import (
@@ -166,6 +168,7 @@ class TestEndToEnd:
         report = run_oracle(generate_program(0))
         assert report.status == "ok", [d.message for d in report.divergences]
 
+    @pytest.mark.slow
     def test_injected_miscompile_is_caught(self):
         program = generate_program(MISCOMPILED_SEED)
         report = run_oracle(program, config_with_broken_promotion())
@@ -182,6 +185,7 @@ class TestEndToEnd:
         assert decisions[0].pass_name == "fuzz.oracle"
         assert decisions[0].action == "passed"
 
+    @pytest.mark.slow
     def test_divergence_artifact_layout(self, tmp_path):
         program = generate_program(MISCOMPILED_SEED)
         report = run_oracle(program, config_with_broken_promotion())
@@ -202,6 +206,7 @@ class TestPredicate:
         predicate = make_divergence_predicate()
         assert predicate(generate_program(0).source) is False
 
+    @pytest.mark.slow
     def test_predicate_accepts_miscompiled_program(self):
         predicate = make_divergence_predicate(
             config_with_broken_promotion(), kind="output-divergence"

@@ -1,0 +1,115 @@
+"""The incremental-vs-from-scratch differential: the correctness
+contract of `repro.inccomp`, enforced across the whole workload matrix.
+
+For every workload and pipeline configuration: populate a function
+store by compiling the pristine source, mutate exactly one function
+(dead-local edit — IR-changing but summary-neutral), then recompile
+incrementally and from scratch.  The two compiles must be *observably
+indistinguishable*: byte-identical printed IR, byte-identical
+decision-ledger rows, equal pass-report aggregates — and the
+incremental one must have re-optimized only the edited function.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.diag.ledger import decision_ledger
+from repro.inccomp import FunctionStore, mutate_function
+from repro.ir.printer import format_module
+from repro.pipeline import Analysis, PipelineOptions, compile_source
+from repro.workloads import get_workload, workload_names
+
+CONFIGS = {
+    "full": PipelineOptions(),
+    "pointer": PipelineOptions(analysis=Analysis.POINTER, pointer_promotion=True),
+}
+
+
+def _compile_with_ledger(source, options, name, defines, fn_store=None):
+    with decision_ledger() as ledger:
+        result = compile_source(
+            source, options, name=name, defines=defines or None, fn_store=fn_store
+        )
+    return result, [d.as_dict() for d in ledger.decisions]
+
+
+@pytest.mark.slow  # full 14x2 matrix; the quick lane keeps the warm and
+# ledger tests below plus tests/props for per-edit coverage
+@pytest.mark.parametrize("config", sorted(CONFIGS))
+@pytest.mark.parametrize("workload_name", workload_names())
+def test_incremental_recompile_is_byte_identical(workload_name, config):
+    wl = get_workload(workload_name)
+    options = CONFIGS[config]
+    store = FunctionStore(root=None)
+
+    # populate the store from the pristine source
+    _compile_with_ledger(wl.source, options, wl.name, wl.defines, fn_store=store)
+
+    edited_source, edited_fn = mutate_function(wl.source)
+    assert edited_source != wl.source
+
+    incremental, inc_ledger = _compile_with_ledger(
+        edited_source, options, wl.name, wl.defines, fn_store=store
+    )
+    scratch, scratch_ledger = _compile_with_ledger(
+        edited_source, options, wl.name, wl.defines
+    )
+
+    assert format_module(incremental.module) == format_module(scratch.module)
+    assert inc_ledger == scratch_ledger
+
+    # only the edited function was re-optimized
+    total = len(incremental.module.functions)
+    assert incremental.fn_cache_misses == 1, (
+        f"edit to {edited_fn} should miss exactly once, got "
+        f"{incremental.fn_cache_misses} misses / {incremental.fn_cache_hits} hits"
+    )
+    assert incremental.fn_cache_hits == total - 1
+
+    # pass-report aggregates replayed from cache match fresh ones
+    assert set(incremental.promotion_reports) == set(scratch.promotion_reports)
+    for name, report in scratch.promotion_reports.items():
+        replayed = incremental.promotion_reports[name]
+        assert replayed.promoted_tags == report.promoted_tags
+        assert replayed.references_rewritten == report.references_rewritten
+    assert {
+        name: report.coloring
+        for name, report in incremental.regalloc_reports.items()
+    } == {
+        name: report.coloring for name, report in scratch.regalloc_reports.items()
+    }
+
+
+@pytest.mark.parametrize("workload_name", ["dhrystone", "compress"])
+def test_warm_recompile_hits_every_function(workload_name):
+    wl = get_workload(workload_name)
+    store = FunctionStore(root=None)
+    first, _ = _compile_with_ledger(
+        wl.source, PipelineOptions(), wl.name, wl.defines, fn_store=store
+    )
+    warm, _ = _compile_with_ledger(
+        wl.source, PipelineOptions(), wl.name, wl.defines, fn_store=store
+    )
+    assert warm.fn_cache_misses == 0
+    assert warm.fn_cache_hits == len(warm.module.functions)
+    assert format_module(warm.module) == format_module(first.module)
+
+
+def test_ledgered_and_plain_compiles_do_not_share_entries():
+    """A record made without a ledger has no decisions to replay, so it
+    must not satisfy a ledgered compile (and vice versa)."""
+    wl = get_workload("dhrystone")
+    store = FunctionStore(root=None)
+    compile_source(
+        wl.source, PipelineOptions(), name=wl.name, fn_store=store
+    )  # no ledger
+    ledgered, rows = _compile_with_ledger(
+        wl.source, PipelineOptions(), wl.name, wl.defines, fn_store=store
+    )
+    assert ledgered.fn_cache_hits == 0  # separate key namespace
+    assert rows  # and the ledger actually saw decisions
+    _, replayed_rows = _compile_with_ledger(
+        wl.source, PipelineOptions(), wl.name, wl.defines, fn_store=store
+    )
+    assert replayed_rows == rows

@@ -65,7 +65,33 @@ def _assert_identical(simple, threaded, context):
     assert simple.block_visits == threaded.block_visits, context
 
 
-@pytest.mark.parametrize("name", workload_names())
+#: suite programs whose full-equivalence sweep dominates tier-1 wall
+#: time (three engines x two runs each); they run in CI and under
+#: plain `pytest`, but `-m "not slow"` skips them for the fast lane,
+#: which keeps allroots/dhrystone/fft/mlink as its equivalence smoke
+SLOW_WORKLOADS = frozenset(
+    {
+        "bc",
+        "bison",
+        "clean",
+        "compress",
+        "go",
+        "gzip_enc",
+        "gzip_dec",
+        "indent",
+        "tsp",
+        "water",
+    }
+)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(n, marks=pytest.mark.slow) if n in SLOW_WORKLOADS else n
+        for n in workload_names()
+    ],
+)
 @pytest.mark.parametrize("pipeline", list(PIPELINES))
 def test_workload_observables_identical(name, pipeline):
     workload = get_workload(name)
@@ -89,6 +115,7 @@ class TestMaxStepsExhaustion:
         workload = get_workload("fft")
         return lambda: _module(workload, FULL)
 
+    @pytest.mark.slow
     def test_limit_boundary(self):
         fresh = self._modules()
         total = _run(fresh(), "threaded").counters.total_ops

@@ -31,7 +31,17 @@ def _full_options() -> PipelineOptions:
     )
 
 
-@pytest.mark.parametrize("name", workload_names())
+#: heavyweight programs whose staged-verify runs leave the fast lane
+_SLOW = frozenset({"compress", "gzip_enc", "gzip_dec"})
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        pytest.param(n, marks=pytest.mark.slow) if n in _SLOW else n
+        for n in workload_names()
+    ],
+)
 class TestVerifyEachStage:
     def test_o0(self, name):
         workload = get_workload(name)

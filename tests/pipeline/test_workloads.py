@@ -39,7 +39,15 @@ class TestRegistry:
 
 
 class TestExecution:
-    @pytest.mark.parametrize("name", sorted(EXPECTED_NAMES))
+    @pytest.mark.parametrize(
+        "name",
+        [
+            pytest.param(n, marks=pytest.mark.slow)
+            if n in {"compress", "gzip_enc", "gzip_dec"}
+            else n
+            for n in sorted(EXPECTED_NAMES)
+        ],
+    )
     def test_compiles_and_runs_unoptimized(self, name):
         w = get_workload(name)
         module = compile_c(w.source, name=w.name, defines=w.defines)
@@ -48,6 +56,7 @@ class TestExecution:
         assert result.output.strip(), "every workload prints a result line"
         assert w.name.split("_")[0] in result.output
 
+    @pytest.mark.slow
     def test_deterministic(self):
         w = get_workload("compress")
         first = run_module(compile_c(w.source, defines=w.defines))
@@ -87,6 +96,7 @@ class TestHarness:
         with pytest.raises(ValueError):
             figure_rows({"mlink": mlink_matrix}, "cycles")
 
+    @pytest.mark.slow
     def test_tsp_has_no_opportunities(self):
         matrix = run_program_matrix(get_workload("tsp"))
         for analysis in ("modref", "pointer"):

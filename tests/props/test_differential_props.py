@@ -8,6 +8,8 @@ module and all four paper pipeline variants print the same output.
 Any divergence is a miscompile in some pass.
 """
 
+import pytest
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -114,6 +116,7 @@ int main(void) {{
     suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
 )
 @given(programs())
+@pytest.mark.slow
 def test_all_variants_agree_on_random_program(source):
     machine = MachineOptions(max_steps=2_000_000)
     baseline = run_module(compile_c(source), options=machine)

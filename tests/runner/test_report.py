@@ -28,6 +28,7 @@ def crashing_workload():
 
 
 class TestSuiteReport:
+    @pytest.mark.slow
     def test_small_suite_is_ok(self):
         report = run_suite_report(["allroots", "tsp"], jobs=1)
         assert report.ok
@@ -37,6 +38,7 @@ class TestSuiteReport:
         rows = figure_rows(report.results, "total_ops")
         assert {row.program for row in rows} == {"allroots", "tsp"}
 
+    @pytest.mark.slow
     def test_results_preserve_requested_order(self):
         report = run_suite_report(["tsp", "allroots"], jobs=1)
         assert list(report.results) == ["tsp", "allroots"]

@@ -100,6 +100,7 @@ class TestPooled:
 
 
 class TestSerialParallelParity:
+    @pytest.mark.slow
     def test_two_workloads_match_exactly(self):
         names = ["allroots", "dhrystone"]
         serial = run_suite(names, jobs=1)

@@ -253,6 +253,7 @@ class TestServerIntegration:
 
 
 class TestSoak:
+    @pytest.mark.slow
     def test_small_soak_passes_and_replays_identically(self, tmp_path):
         from repro.chaos.soak import SoakConfig, format_soak_report, run_soak
 

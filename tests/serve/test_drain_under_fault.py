@@ -12,6 +12,8 @@ import os
 import signal
 import sys
 
+import pytest
+
 from repro.serve.client import ServeClient
 from tests.serve.helpers import run_async, slow_source
 
@@ -38,6 +40,7 @@ async def _start_server(tmp_path):
     return proc, port
 
 
+@pytest.mark.slow
 def test_sigterm_during_injected_crash_recovery_drains_cleanly(tmp_path):
     async def scenario():
         proc, port = await _start_server(tmp_path)

@@ -336,6 +336,7 @@ class TestBackpressure:
 
         run_async(scenario())
 
+    @pytest.mark.slow
     def test_health_stays_responsive_while_workers_busy(self):
         async def scenario():
             async with serving(workers=1) as server:
@@ -359,6 +360,7 @@ class TestBackpressure:
 
 
 class TestDrain:
+    @pytest.mark.slow
     def test_drain_while_busy_answers_inflight_then_closes(self):
         async def scenario():
             server = ReproServer(
@@ -392,6 +394,7 @@ class TestDrain:
 
         run_async(scenario())
 
+    @pytest.mark.slow
     def test_new_work_rejected_while_draining(self):
         async def scenario():
             async with serving(workers=1) as server:

@@ -12,6 +12,8 @@ import json
 import os
 import signal
 
+import pytest
+
 from repro.serve.client import ServeClient, ServeError
 from repro.serve.server import ReproServer, ServerConfig
 from repro.trace import (
@@ -223,6 +225,7 @@ class TestFlightDumps:
 
         run_async(scenario())
 
+    @pytest.mark.slow
     def test_deadline_kill_dumps_bundle_with_the_requests_spans(
         self, tmp_path
     ):
@@ -259,6 +262,7 @@ class TestFlightDumps:
 
         run_async(scenario())
 
+    @pytest.mark.slow
     def test_dump_cap_bounds_bundle_count(self, tmp_path):
         async def scenario():
             async with serving(
